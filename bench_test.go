@@ -1,0 +1,221 @@
+// Root benchmarks: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each runs the corresponding experiment at reduced
+// scale (experiments.Quick) so `go test -bench=.` regenerates every result's
+// structure in seconds; full-scale numbers come from `go run ./cmd/ghbench`.
+package groundhog_test
+
+import (
+	"testing"
+
+	"groundhog/internal/catalog"
+	"groundhog/internal/experiments"
+)
+
+// quickCfg returns the reduced-scale configuration with a benchmark-specific
+// seed so runs are independent but reproducible.
+func quickCfg(seed uint64) experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Seed = seed
+	return cfg
+}
+
+// dataset memoizes the master 58-benchmark dataset at quick scale: Table 1-3
+// and Figs. 4-5 all derive from the same measurement pass, as in the paper.
+var dataset *experiments.Dataset
+
+func quickDataset(b *testing.B) *experiments.Dataset {
+	b.Helper()
+	if dataset == nil {
+		ds, err := experiments.RunFull(quickCfg(11))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dataset = ds
+	}
+	return dataset
+}
+
+func BenchmarkFig1ColdStart(b *testing.B) {
+	e, err := catalog.Lookup("get-time (p)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1ColdStart(quickCfg(1), e.Prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3Left(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3Left(quickCfg(2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3Right(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3Right(quickCfg(3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Latency(b *testing.B) {
+	ds := quickDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig4E2E(ds).NumRows() == 0 || experiments.Fig4Invoker(ds).NumRows() == 0 {
+			b.Fatal("empty Fig. 4")
+		}
+	}
+}
+
+func BenchmarkFig5Throughput(b *testing.B) {
+	ds := quickDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig5(ds).NumRows() == 0 {
+			b.Fatal("empty Fig. 5")
+		}
+	}
+}
+
+func BenchmarkFig6RestorationVsFaasm(b *testing.B) {
+	cfg := quickCfg(6)
+	cfg.MaxBenchmarks = 4
+	cfg.LatencySamples = 3
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7CoreScaling(b *testing.B) {
+	cfg := quickCfg(7)
+	cfg.MaxBenchmarks = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8RestoreBreakdown(b *testing.B) {
+	cfg := quickCfg(8)
+	cfg.MaxBenchmarks = 3
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Absolute(b *testing.B) {
+	ds := quickDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1(ds).NumRows() == 0 {
+			b.Fatal("empty Table 1")
+		}
+	}
+}
+
+func BenchmarkTable2RelativeOverheads(b *testing.B) {
+	ds := quickDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Table2(ds).NumRows() == 0 {
+			b.Fatal("empty Table 2")
+		}
+	}
+}
+
+func BenchmarkTable3RestorationDetail(b *testing.B) {
+	ds := quickDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Table3(ds).NumRows() == 0 {
+			b.Fatal("empty Table 3")
+		}
+	}
+}
+
+func BenchmarkHeadlineAggregates(b *testing.B) {
+	ds := quickDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Headline(ds).NumRows() == 0 {
+			b.Fatal("empty headline")
+		}
+	}
+}
+
+func BenchmarkAblationUFFD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationUFFD(quickCfg(12)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCoalesce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCoalesce(quickCfg(13)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTrust(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTrust(quickCfg(14)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LoadSweep(quickCfg(15)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStateStore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationStateStore(quickCfg(16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRelatedWork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RelatedWork(quickCfg(17)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTimeVirt(b *testing.B) {
+	cfg := quickCfg(19)
+	cfg.MaxBenchmarks = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTimeVirt(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fleet(quickCfg(18)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

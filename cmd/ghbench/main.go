@@ -1,0 +1,171 @@
+// Command ghbench regenerates the paper's tables and figures from the
+// simulated testbed. Each experiment prints a text table whose rows/series
+// mirror the corresponding figure; EXPERIMENTS.md records the shape criteria
+// and paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	ghbench -e fig3-left            # one experiment
+//	ghbench -e all -quick           # everything, reduced scale
+//	ghbench -list                   # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"groundhog/internal/catalog"
+	"groundhog/internal/experiments"
+	"groundhog/internal/metrics"
+)
+
+// experimentNames lists the runnable experiments in presentation order.
+var experimentNames = []string{
+	"fig1", "fig3-left", "fig3-right", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"table1", "table2", "table3", "headline",
+	"ablation-uffd", "ablation-coalesce", "ablation-trust", "ablation-statestore",
+	"ablation-timevirt", "loadsweep", "related-work", "fleet",
+}
+
+func main() {
+	var (
+		exp   = flag.String("e", "", "experiment to run (see -list), or 'all'")
+		quick = flag.Bool("quick", false, "reduced scale (fast)")
+		max   = flag.Int("benchmarks", 0, "limit number of catalog benchmarks (0 = all 58)")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experimentNames {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "ghbench: -e <experiment> required; try -list")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+		cfg.MaxBenchmarks = 0 // -benchmarks controls truncation explicitly
+	}
+	cfg.Seed = *seed
+	if *max > 0 {
+		cfg.MaxBenchmarks = *max
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experimentNames
+	}
+	if err := run(cfg, names); err != nil {
+		fmt.Fprintf(os.Stderr, "ghbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the named experiments, computing the shared 58-benchmark
+// dataset at most once.
+func run(cfg experiments.Config, names []string) error {
+	var ds *experiments.Dataset
+	dataset := func() (*experiments.Dataset, error) {
+		if ds != nil {
+			return ds, nil
+		}
+		fmt.Fprintln(os.Stderr, "ghbench: measuring all benchmarks under all configurations (one-time)...")
+		var err error
+		ds, err = experiments.RunFull(cfg)
+		return ds, err
+	}
+
+	for _, name := range names {
+		var (
+			tb  *metrics.Table
+			err error
+		)
+		switch strings.ToLower(name) {
+		case "fig1":
+			e, lerr := catalog.Lookup("get-time (p)")
+			if lerr != nil {
+				return lerr
+			}
+			tb, err = experiments.Fig1ColdStart(cfg, e.Prof)
+		case "fig3-left":
+			tb, err = experiments.Fig3Left(cfg)
+		case "fig3-right":
+			tb, err = experiments.Fig3Right(cfg)
+		case "fig4":
+			d, derr := dataset()
+			if derr != nil {
+				return derr
+			}
+			fmt.Println(experiments.Fig4E2E(d).Render())
+			tb = experiments.Fig4Invoker(d)
+		case "fig5":
+			d, derr := dataset()
+			if derr != nil {
+				return derr
+			}
+			tb = experiments.Fig5(d)
+		case "fig6":
+			tb, err = experiments.Fig6(cfg)
+		case "fig7":
+			tb, err = experiments.Fig7(cfg)
+		case "fig8":
+			tb, err = experiments.Fig8(cfg)
+		case "table1":
+			d, derr := dataset()
+			if derr != nil {
+				return derr
+			}
+			tb = experiments.Table1(d)
+		case "table2":
+			d, derr := dataset()
+			if derr != nil {
+				return derr
+			}
+			tb = experiments.Table2(d)
+		case "table3":
+			d, derr := dataset()
+			if derr != nil {
+				return derr
+			}
+			tb = experiments.Table3(d)
+		case "headline":
+			d, derr := dataset()
+			if derr != nil {
+				return derr
+			}
+			tb = experiments.Headline(d)
+		case "ablation-uffd":
+			tb, err = experiments.AblationUFFD(cfg)
+		case "ablation-coalesce":
+			tb, err = experiments.AblationCoalesce(cfg)
+		case "ablation-trust":
+			tb, err = experiments.AblationTrust(cfg)
+		case "loadsweep":
+			tb, err = experiments.LoadSweep(cfg)
+		case "ablation-statestore":
+			tb, err = experiments.AblationStateStore(cfg)
+		case "related-work":
+			tb, err = experiments.RelatedWork(cfg)
+		case "fleet":
+			tb, err = experiments.Fleet(cfg)
+		case "ablation-timevirt":
+			tb, err = experiments.AblationTimeVirt(cfg)
+		default:
+			return fmt.Errorf("unknown experiment %q (try -list)", name)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(tb.Render())
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command ghfaas runs one benchmark function on the simulated OpenWhisk-like
+// platform under a chosen isolation mode and reports latency and throughput —
+// a single cell of the paper's Table 1, interactively.
+//
+// Usage:
+//
+//	ghfaas -fn "chaos (p)" -mode gh
+//	ghfaas -fn "img-resize (n)" -mode base -requests 30
+//	ghfaas -fn "bicg (c)" -mode fork -tput -containers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"groundhog/internal/catalog"
+	"groundhog/internal/faas"
+	"groundhog/internal/isolation"
+	"groundhog/internal/kernel"
+	"groundhog/internal/metrics"
+)
+
+func main() {
+	var (
+		fn         = flag.String("fn", "get-time (p)", `benchmark name, e.g. "chaos (p)"`)
+		mode       = flag.String("mode", "gh", "isolation mode: base, gh, gh-nop, fork, faasm")
+		requests   = flag.Int("requests", 20, "measured requests (latency run)")
+		tput       = flag.Bool("tput", false, "run the saturation workload instead of closed-loop")
+		containers = flag.Int("containers", 4, "containers for the saturation run")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	if err := run(*fn, isolation.Mode(*mode), *requests, *tput, *containers, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "ghfaas: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(fn string, mode isolation.Mode, requests int, tput bool, containers int, seed uint64) error {
+	entry, err := catalog.Lookup(fn)
+	if err != nil {
+		return err
+	}
+	prof := entry.Prof
+
+	if tput {
+		pl, err := faas.NewPlatform(kernel.Default(), prof, mode, containers, seed)
+		if err != nil {
+			return err
+		}
+		res, err := pl.RunSaturated(requests)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s under %s: %d containers saturated\n", fn, mode, containers)
+		fmt.Printf("  sustained throughput: %.2f req/s (%d requests over %v)\n",
+			res.RequestsPerSec, res.Requests, res.Elapsed)
+		return nil
+	}
+
+	pl, err := faas.NewPlatform(kernel.Default(), prof, mode, 1, seed)
+	if err != nil {
+		return err
+	}
+	cs := pl.Containers()[0].ColdStart()
+	fmt.Printf("%s under %s\n", fn, mode)
+	fmt.Printf("  cold start: env %v, runtime+data init %v, snapshot %v (total %v)\n",
+		cs.EnvInstantiation.Round(time.Microsecond), cs.RuntimeInit.Round(time.Microsecond),
+		cs.StrategyInit.Round(time.Microsecond), cs.Total.Round(time.Microsecond))
+
+	stats, err := pl.RunClosedLoop(requests, 30*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	var e2e, inv, restore metrics.Summary
+	for _, st := range stats {
+		e2e.AddDuration(st.E2E)
+		inv.AddDuration(st.Invoker)
+		if st.Restored {
+			restore.AddDuration(st.Cleanup)
+		}
+	}
+	fmt.Printf("  E2E latency:     mean %.2f ms (±%.2f), p95 %.2f ms\n", e2e.Mean(), e2e.Std(), e2e.Percentile(95))
+	fmt.Printf("  invoker latency: mean %.2f ms (±%.2f)\n", inv.Mean(), inv.Std())
+	if restore.N() > 0 {
+		fmt.Printf("  restore (off critical path): mean %.2f ms over %d restores\n", restore.Mean(), restore.N())
+	} else {
+		fmt.Printf("  no state restoration in this mode\n")
+	}
+	return nil
+}

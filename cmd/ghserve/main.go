@@ -1,0 +1,33 @@
+// Command ghserve runs the simulated FaaS platform behind an HTTP endpoint —
+// a Groundhog "provider in a box" for interactive exploration.
+//
+//	go run ./cmd/ghserve -addr :8080 &
+//	curl -s localhost:8080/functions | head
+//	curl -s -X POST 'localhost:8080/invoke?fn=get-time%20(p)&mode=gh'
+//	curl -s -X POST 'localhost:8080/invoke?fn=get-time%20(p)&mode=base'
+//	curl -s localhost:8080/deployments
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"groundhog/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:8080", "listen address")
+		trust = flag.Bool("trust-same-caller", false, "enable the §4.4 trusted-caller optimization")
+	)
+	flag.Parse()
+
+	s := server.New()
+	s.SetTrustSameCaller(*trust)
+	log.Printf("ghserve: simulated FaaS platform listening on %s", *addr)
+	log.Printf("ghserve: try  curl -s -X POST '%s/invoke?fn=get-time%%20(p)&mode=gh'", *addr)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

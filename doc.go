@@ -1,0 +1,21 @@
+// Package groundhog is a reproduction of "Groundhog: Efficient Request
+// Isolation in FaaS" (Alzayat, Mace, Druschel, Garg — EuroSys 2023) as a Go
+// library, including every substrate the paper's system depends on: a
+// simulated Linux-like kernel (physical frames, virtual address spaces with
+// soft-dirty tracking and CoW fork, /proc, ptrace), the Groundhog manager
+// with its in-memory snapshot/restore facility, an OpenWhisk-style FaaS
+// platform, the fork/FAASM/no-op baselines, the paper's 58-benchmark
+// catalog, and a harness that regenerates every evaluation table and figure.
+//
+// Start with DESIGN.md for the system inventory and the substitution notes
+// (what ran on real hardware in the paper vs. what is simulated here and
+// why), EXPERIMENTS.md for paper-vs-measured results, and examples/ for
+// runnable walkthroughs. The root-level benchmarks (bench_test.go) regenerate
+// each figure at reduced scale:
+//
+//	go test -bench=. -benchmem
+//
+// The full-scale figures come from the CLI:
+//
+//	go run ./cmd/ghbench -e all
+package groundhog

@@ -1,0 +1,38 @@
+// Microbench: a reduced-scale rendition of the paper's §5.2 microbenchmark
+// (Fig. 3 left) — request latency of BASE / GH-NOP / GH / FORK as the
+// fraction of dirtied pages grows, printed as CSV for easy plotting.
+//
+//	go run ./examples/microbench            # 20k mapped pages
+//	go run ./examples/microbench 100000     # paper-scale 100k pages
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"groundhog/internal/experiments"
+)
+
+func main() {
+	mapped := 20000
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil {
+			log.Fatalf("bad page count %q", os.Args[1])
+		}
+		mapped = v
+	}
+	cfg := experiments.Default()
+	cfg.MicroMappedPages = mapped
+	cfg.MicroRequests = 5
+
+	fmt.Printf("# Fig. 3 (left) at %d mapped pages; latencies in ms\n", mapped)
+	tb, err := experiments.Fig3Left(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tb.Render())
+	fmt.Println("expected shape: fork > gh > gh-nop ≈ base (solid); gh+rest slope eases at high density")
+}

@@ -1,0 +1,164 @@
+package catalog
+
+import (
+	"testing"
+	"time"
+
+	"groundhog/internal/kernel"
+	"groundhog/internal/runtimes"
+)
+
+func TestAllHas58Benchmarks(t *testing.T) {
+	all := All()
+	if len(all) != 58 {
+		t.Fatalf("catalog has %d benchmarks, want 58", len(all))
+	}
+	counts := map[Suite]int{}
+	langs := map[runtimes.Language]int{}
+	for _, e := range all {
+		counts[e.Suite]++
+		langs[e.Prof.Lang]++
+	}
+	if counts[SuitePyperformance] != 22 {
+		t.Fatalf("pyperformance = %d, want 22", counts[SuitePyperformance])
+	}
+	if counts[SuitePolyBench] != 23 {
+		t.Fatalf("PolyBench = %d, want 23", counts[SuitePolyBench])
+	}
+	if counts[SuiteFaaSProfiler] != 13 {
+		t.Fatalf("FaaSProfiler = %d, want 13", counts[SuiteFaaSProfiler])
+	}
+	if langs[runtimes.LangPython] != 28 || langs[runtimes.LangC] != 23 || langs[runtimes.LangNode] != 7 {
+		t.Fatalf("language split = %v", langs)
+	}
+}
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, e := range All() {
+		if err := e.Prof.Validate(); err != nil {
+			t.Errorf("%s: %v", e.Prof.DisplayName(), err)
+		}
+	}
+}
+
+func TestDisplayNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		n := e.Prof.DisplayName()
+		if seen[n] {
+			t.Fatalf("duplicate benchmark %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := Lookup("img-resize (n)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Prof.Lang != runtimes.LangNode || e.Prof.InputKB != 76 {
+		t.Fatalf("img-resize profile wrong: %+v", e.Prof)
+	}
+	if _, err := Lookup("no-such (x)"); err == nil {
+		t.Fatal("Lookup of bogus name succeeded")
+	}
+}
+
+func TestRepresentative14(t *testing.T) {
+	reps := Representative14()
+	if len(reps) != 14 {
+		t.Fatalf("representatives = %d", len(reps))
+	}
+	if reps[0].Prof.DisplayName() != "base64 (n)" {
+		t.Fatalf("Fig. 8 order broken: first = %s", reps[0].Prof.DisplayName())
+	}
+}
+
+func TestTable3Anchors(t *testing.T) {
+	// Spot-check a few rows against the paper's Table 3.
+	checks := []struct {
+		name       string
+		execMS     float64
+		totalPages int
+		restored   int
+	}{
+		{"get-time (p)", 2.9, 3190, 180},
+		{"base64 (n)", 644.0, 208420, 53830},
+		{"heat-3d (c)", 3059.5, 4350, 3390},
+		// cholesky's Table 3 row reports fewer restored (10) than faulted
+		// (20) pages; our restorer copies back every dirty page, so the
+		// model's restored count is the fault count.
+		{"cholesky (c)", 166182.8, 980, 20},
+	}
+	for _, c := range checks {
+		e, err := Lookup(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Prof.Exec; got != time.Duration(c.execMS*float64(time.Millisecond)) {
+			t.Errorf("%s exec = %v", c.name, got)
+		}
+		if e.Prof.TotalPages != c.totalPages {
+			t.Errorf("%s pages = %d, want %d", c.name, e.Prof.TotalPages, c.totalPages)
+		}
+		if got := e.Prof.RestoredPages(); got != c.restored {
+			t.Errorf("%s restored = %d, want %d", c.name, got, c.restored)
+		}
+	}
+}
+
+func TestLoggingLeakEncoded(t *testing.T) {
+	e, err := Lookup("logging (p)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Prof.LeakPages == 0 || e.Prof.LeakSlowdown == 0 {
+		t.Fatal("logging(p) leak anomaly not encoded")
+	}
+}
+
+func TestNodePenaltiesEncoded(t *testing.T) {
+	for _, e := range All() {
+		if e.Prof.Lang == runtimes.LangNode && e.Prof.GHPenalty <= 0 {
+			t.Errorf("%s: node benchmark without post-restore penalty", e.Prof.DisplayName())
+		}
+	}
+	ir, _ := Lookup("img-resize (n)")
+	gt, _ := Lookup("get-time (n)")
+	if ir.Prof.GHPenalty <= gt.Prof.GHPenalty {
+		t.Fatal("img-resize must carry the largest GC re-warm penalty (§5.3.1)")
+	}
+}
+
+func TestMicrobenchProfile(t *testing.T) {
+	p := Microbench(100000, 1000)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ReadPages() != 100000 {
+		t.Fatalf("microbench must read all pages, got %d", p.ReadPages())
+	}
+	if p.DirtyPages != 1000 {
+		t.Fatalf("dirty = %d", p.DirtyPages)
+	}
+}
+
+// Every catalog profile must be instantiable on the simulated kernel (the
+// layout budget must work out for all 58 footprints).
+func TestAllProfilesInstantiable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("instantiating all 58 images is slow")
+	}
+	for _, e := range All() {
+		k := kernel.New(kernel.Default())
+		in, err := runtimes.NewInstance(k, e.Prof, 7)
+		if err != nil {
+			t.Errorf("%s: %v", e.Prof.DisplayName(), err)
+			continue
+		}
+		if got := in.Proc.AS.MappedPages(); got != e.Prof.TotalPages {
+			t.Errorf("%s: mapped %d pages, want %d", e.Prof.DisplayName(), got, e.Prof.TotalPages)
+		}
+	}
+}

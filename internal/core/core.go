@@ -1,0 +1,356 @@
+// Package core implements Groundhog's contribution: a language- and
+// runtime-agnostic, in-memory process snapshot/restore facility that gives
+// FaaS functions sequential request isolation while preserving container
+// reuse (§4 of the paper).
+//
+// A Manager owns one function process. After the runtime is initialized and
+// warmed with a dummy request, TakeSnapshot records the process's complete
+// state — memory layout, page contents, per-thread registers, the program
+// break — in the manager's own memory (the StateStore). After every request,
+// Restore rolls the process back: it interrupts the threads, reads
+// /proc-style maps and pagemap, diffs the memory layout against the
+// snapshot, reverses layout changes by injecting brk/mmap/munmap/madvise/
+// mprotect syscalls over ptrace, copies back the contents of soft-dirty
+// pages, clears the soft-dirty bits, restores registers, and detaches.
+// Restore cost is therefore proportional to what the request actually
+// changed, and all of it is off the request's critical path.
+package core
+
+import (
+	"fmt"
+
+	"groundhog/internal/kernel"
+	"groundhog/internal/mem"
+	"groundhog/internal/procfs"
+	"groundhog/internal/ptrace"
+	"groundhog/internal/sim"
+	"groundhog/internal/vm"
+)
+
+// Phase names for the restore breakdown, matching the legend of Fig. 8.
+const (
+	PhaseInterrupt   = "interrupting"
+	PhaseReadMaps    = "reading maps"
+	PhaseScanPages   = "scanning page metadata"
+	PhaseDiff        = "diffing memory layouts"
+	PhaseBrk         = "brk()"
+	PhaseMmap        = "mmap()"
+	PhaseMunmap      = "munmap()"
+	PhaseMadvise     = "madvise()"
+	PhaseMprotect    = "mprotect()"
+	PhaseRestoreMem  = "restoring memory"
+	PhaseClearSD     = "clearing soft-dirty bits"
+	PhaseRestoreRegs = "restoring registers"
+	PhaseDetach      = "detaching"
+)
+
+// Phases lists the restore phases in execution (and Fig. 8 legend) order.
+var Phases = []string{
+	PhaseInterrupt, PhaseReadMaps, PhaseScanPages, PhaseDiff,
+	PhaseBrk, PhaseMmap, PhaseMunmap, PhaseMadvise, PhaseMprotect,
+	PhaseRestoreMem, PhaseClearSD, PhaseRestoreRegs, PhaseDetach,
+}
+
+// TrackerKind selects the write-tracking mechanism.
+type TrackerKind int
+
+// Tracking mechanisms (§4.3). SoftDirty is the design the paper ships;
+// Uffd is the alternative it prototyped and rejected, kept here for the
+// ablation experiment.
+const (
+	TrackSoftDirty TrackerKind = iota
+	TrackUffd
+)
+
+func (k TrackerKind) String() string {
+	if k == TrackUffd {
+		return "uffd"
+	}
+	return "soft-dirty"
+}
+
+// StoreKind selects how the StateStore holds the snapshot's page contents.
+type StoreKind int
+
+const (
+	// StoreCopy eagerly copies every resident page into the manager's
+	// memory at snapshot time — the implementation the paper evaluates.
+	StoreCopy StoreKind = iota
+	// StoreCoW shares the function's frames copy-on-write instead: zero
+	// eager copying and memory overhead proportional to the pages the
+	// function actually dirties, at the price of a one-time copying fault
+	// on the critical path per unique modified page — the optimization
+	// sketched in §5.5.
+	StoreCoW
+)
+
+func (k StoreKind) String() string {
+	if k == StoreCoW {
+		return "cow"
+	}
+	return "copy"
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Tracker selects the memory write-tracking mechanism.
+	Tracker TrackerKind
+	// Coalesce enables merging contiguous dirty pages into single larger
+	// restore copies (the optimization behind the slope change at ~60%
+	// dirtying in Fig. 3 left). On by default via DefaultOptions.
+	Coalesce bool
+	// Store selects the StateStore implementation (§5.5).
+	Store StoreKind
+}
+
+// DefaultOptions returns the configuration the paper evaluates as GH.
+func DefaultOptions() Options {
+	return Options{Tracker: TrackSoftDirty, Coalesce: true, Store: StoreCopy}
+}
+
+// SnapshotStats reports the one-time snapshot cost (§5.5).
+type SnapshotStats struct {
+	Duration sim.Duration
+	// Pages is the number of resident pages copied into the StateStore.
+	Pages int
+	// VMAs is the number of memory regions recorded.
+	VMAs int
+}
+
+// RestoreStats reports one restore operation (Fig. 8's bars plus the page
+// counters of Table 3).
+type RestoreStats struct {
+	Total sim.Duration
+	// PhaseDurations maps each Phases entry to its share of Total.
+	PhaseDurations map[string]sim.Duration
+	// MappedPages is the number of pages scanned in the pagemap.
+	MappedPages int
+	// DirtyPages is the number of soft-dirty pages found.
+	DirtyPages int
+	// RestoredPages is the number of pages whose contents were copied
+	// back from the snapshot.
+	RestoredPages int
+	// DroppedPages is the number of newly paged-in pages madvised away.
+	DroppedPages int
+	// LayoutOps is the number of injected memory-management syscalls.
+	LayoutOps int
+}
+
+// snapshot is the StateStore: everything needed to put the process back,
+// held in the manager's memory (never serialized to disk — the property
+// that distinguishes Groundhog from CRIU-style approaches, §6).
+type snapshot struct {
+	layout []vm.VMA
+	brk    vm.Addr
+	regs   map[int]kernel.Regs // by TID
+	// pages holds the contents of every resident page at snapshot time
+	// (StoreCopy); nil slices are all-zero pages.
+	pages map[uint64][]byte
+	// frames holds CoW-shared frame references instead (StoreCoW); the
+	// store owns one reference per entry.
+	frames map[uint64]mem.FrameID
+	// order is the sorted page list, for deterministic iteration.
+	order []uint64
+	stats SnapshotStats
+}
+
+// has reports whether the snapshot recorded page vpn.
+func (s *snapshot) has(vpn uint64) bool {
+	if s.frames != nil {
+		_, ok := s.frames[vpn]
+		return ok
+	}
+	_, ok := s.pages[vpn]
+	return ok
+}
+
+// content returns the recorded bytes of page vpn (nil = all-zero).
+func (s *snapshot) content(vpn uint64, phys *mem.PhysMem) []byte {
+	if s.frames != nil {
+		if f, ok := s.frames[vpn]; ok {
+			return phys.Snapshot(f)
+		}
+		return nil
+	}
+	return s.pages[vpn]
+}
+
+// zeroContent reports whether the recorded page is all-zero without
+// materializing a copy.
+func (s *snapshot) zeroContent(vpn uint64, phys *mem.PhysMem) bool {
+	if s.frames != nil {
+		f, ok := s.frames[vpn]
+		return !ok || phys.Bytes(f) == 0
+	}
+	return s.pages[vpn] == nil
+}
+
+// release drops the store's frame references (StoreCoW) when the snapshot
+// is replaced.
+func (s *snapshot) release(phys *mem.PhysMem) {
+	for _, f := range s.frames {
+		phys.Unref(f)
+	}
+	s.frames = nil
+}
+
+// bytes reports the StateStore's materialized memory: for StoreCopy, the
+// copied page contents; for StoreCoW, only frames that have diverged from
+// the function (the function copied away on write), i.e. memory
+// proportional to the pages ever dirtied (§5.5).
+func (s *snapshot) bytes(phys *mem.PhysMem) int {
+	total := 0
+	if s.frames != nil {
+		for _, f := range s.frames {
+			if phys.Refs(f) == 1 {
+				total += phys.Bytes(f)
+			}
+		}
+		return total
+	}
+	for _, data := range s.pages {
+		total += len(data)
+	}
+	return total
+}
+
+// Manager is the Groundhog manager process for one function process
+// (the green box of Fig. 2). It is created attached (seized) and stays
+// attached for the container's lifetime.
+type Manager struct {
+	kern *kernel.Kernel
+	fs   *procfs.FS
+	proc *kernel.Process
+	opts Options
+
+	tracer *ptrace.Tracer
+	snap   *snapshot
+}
+
+// NewManager attaches a manager to the function process. The process should
+// be fully initialized (runtime started, dummy request executed) before
+// TakeSnapshot is called.
+func NewManager(k *kernel.Kernel, p *kernel.Process, opts Options) (*Manager, error) {
+	tr, err := ptrace.Seize(k, p, nil)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Tracker == TrackUffd {
+		p.AS.SetUffdTracking(true)
+	}
+	return &Manager{kern: k, fs: procfs.New(k), proc: p, opts: opts, tracer: tr}, nil
+}
+
+// Process returns the managed function process.
+func (m *Manager) Process() *kernel.Process { return m.proc }
+
+// HasSnapshot reports whether TakeSnapshot has completed.
+func (m *Manager) HasSnapshot() bool { return m.snap != nil }
+
+// SnapshotStats returns the stats of the recorded snapshot.
+func (m *Manager) SnapshotStats() SnapshotStats {
+	if m.snap == nil {
+		return SnapshotStats{}
+	}
+	return m.snap.stats
+}
+
+// TakeSnapshot records the process's clean state (§4.2): it interrupts all
+// threads, reads the memory map, copies every resident page into the
+// StateStore, saves registers and the program break, arms write tracking,
+// and resumes the process.
+func (m *Manager) TakeSnapshot() (SnapshotStats, error) {
+	meter := sim.NewMeter()
+	m.tracer.SetMeter(meter)
+	defer m.tracer.SetMeter(nil)
+
+	if err := m.tracer.InterruptAll(); err != nil {
+		return SnapshotStats{}, err
+	}
+
+	// (b) scan /proc: memory regions and page metadata.
+	mapsText := m.fs.Maps(m.proc, meter)
+	layout, err := procfs.ParseMaps(mapsText)
+	if err != nil {
+		return SnapshotStats{}, fmt.Errorf("core: snapshot maps: %w", err)
+	}
+	flags := m.fs.Pagemap(m.proc, meter)
+
+	// (c) record resident pages in the StateStore: eager copies, or CoW
+	// frame shares (§5.5) that defer the copy to the function's first
+	// write of each page.
+	snap := &snapshot{
+		layout: layout,
+		regs:   make(map[int]kernel.Regs),
+	}
+	sim.ChargeTo(meter, m.kern.Cost.SnapshotBase)
+	switch m.opts.Store {
+	case StoreCoW:
+		snap.frames = make(map[uint64]mem.FrameID)
+		for _, pf := range flags {
+			if !pf.Present {
+				continue
+			}
+			f, ok := m.proc.AS.ShareFrameCoW(pf.VPN)
+			if !ok {
+				return SnapshotStats{}, fmt.Errorf("core: page %#x vanished during snapshot", pf.VPN)
+			}
+			snap.frames[pf.VPN] = f
+			snap.order = append(snap.order, pf.VPN)
+			sim.ChargeTo(meter, m.kern.Cost.SnapshotCoWPerPage)
+		}
+	default:
+		snap.pages = make(map[uint64][]byte)
+		for _, pf := range flags {
+			if !pf.Present {
+				continue
+			}
+			data, err := m.tracer.PeekPage(pf.VPN)
+			if err != nil {
+				return SnapshotStats{}, err
+			}
+			snap.pages[pf.VPN] = data
+			snap.order = append(snap.order, pf.VPN)
+			sim.ChargeTo(meter, m.kern.Cost.SnapshotPerPage)
+		}
+	}
+
+	// (a) store CPU state of all threads.
+	for _, th := range m.proc.Threads {
+		regs, err := m.tracer.GetRegs(th.TID)
+		if err != nil {
+			return SnapshotStats{}, err
+		}
+		snap.regs[th.TID] = regs
+	}
+	if snap.brk, err = m.proc.AS.Brk(0); err != nil {
+		return SnapshotStats{}, err
+	}
+
+	// (d) reset write tracking, then resume.
+	m.fs.ClearRefs(m.proc, meter)
+	if err := m.tracer.Resume(); err != nil {
+		return SnapshotStats{}, err
+	}
+
+	snap.stats = SnapshotStats{
+		Duration: meter.Total(),
+		Pages:    len(snap.order),
+		VMAs:     len(layout),
+	}
+	if m.snap != nil {
+		m.snap.release(m.kern.Phys)
+	}
+	m.snap = snap
+	return snap.stats, nil
+}
+
+// StateStoreBytes reports the StateStore's current materialized memory. For
+// the eager store this is constant after the snapshot; for the CoW store it
+// grows with the set of pages the function has ever modified (§5.5).
+func (m *Manager) StateStoreBytes() int {
+	if m.snap == nil {
+		return 0
+	}
+	return m.snap.bytes(m.kern.Phys)
+}

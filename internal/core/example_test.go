@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"groundhog/internal/core"
+	"groundhog/internal/kernel"
+	"groundhog/internal/mem"
+	"groundhog/internal/vm"
+)
+
+// Example walks the full Groundhog life cycle on a simulated process: warm
+// state, snapshot, a request that plants a secret, a restore that erases it,
+// and byte-level verification.
+func Example() {
+	k := kernel.New(kernel.Default())
+	proc, err := k.Spawn(kernel.ExecSpec{TextPages: 8, Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	heap := proc.AS.HeapBase()
+	if _, err := proc.AS.Brk(heap + 8*mem.PageSize); err != nil {
+		log.Fatal(err)
+	}
+	proc.AS.WriteWord(heap, 0x11) // warm global state
+
+	mgr, err := core.NewManager(k, proc, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mgr.TakeSnapshot(); err != nil {
+		log.Fatal(err)
+	}
+
+	proc.AS.WriteWord(heap+vm.Addr(2*mem.PageSize), 0x5EC4E7) // the request's secret
+
+	st, err := mgr.Restore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dirty pages found: %d\n", st.DirtyPages)
+	fmt.Printf("secret after restore: %#x\n", proc.AS.ReadWord(heap+vm.Addr(2*mem.PageSize)))
+	fmt.Printf("verified: %v\n", mgr.Verify() == nil)
+	// Output:
+	// dirty pages found: 1
+	// secret after restore: 0x0
+	// verified: true
+}

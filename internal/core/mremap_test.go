@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"groundhog/internal/mem"
+	"groundhog/internal/vm"
+)
+
+// A request that mremaps a pre-snapshot region — growing it in place, or
+// moving it — must be fully undone by the restore: the original range comes
+// back with its contents, and the moved/extended ranges disappear.
+func TestRestoreUndoesMremap(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(t *testing.T, as *vm.AddressSpace, a vm.Addr)
+	}{
+		{"grow-in-place", func(t *testing.T, as *vm.AddressSpace, a vm.Addr) {
+			if _, err := as.Mremap(a, 4*mem.PageSize, 8*mem.PageSize); err != nil {
+				t.Fatal(err)
+			}
+			as.WriteWord(a+6*mem.PageSize, 0xBAD) // taint the extension
+		}},
+		{"shrink", func(t *testing.T, as *vm.AddressSpace, a vm.Addr) {
+			if _, err := as.Mremap(a, 4*mem.PageSize, 2*mem.PageSize); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"move", func(t *testing.T, as *vm.AddressSpace, a vm.Addr) {
+			// Block in-place growth with an adjacent mapping made by the
+			// request itself, then grow: the region moves.
+			if err := as.MmapFixed(a+4*mem.PageSize, mem.PageSize, vm.ProtRead, vm.KindFile, "blocker"); err != nil {
+				// Adjacent space may already be occupied; that is fine —
+				// growth will move either way.
+				_ = err
+			}
+			dst, err := as.Mremap(a, 4*mem.PageSize, 8*mem.PageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			as.WriteWord(dst+5*mem.PageSize, 0xBAD)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k, p, m := newManagedProcess(t, 1, 4, DefaultOptions())
+			_ = k
+			// Pre-snapshot region with recognizable contents. Re-snapshot
+			// to include it.
+			a, err := p.AS.Mmap(4*mem.PageSize, vm.ProtRW, vm.KindFile, "model")
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.AS.WriteWord(a+mem.PageSize, 0xFACE)
+			if _, err := m.TakeSnapshot(); err != nil {
+				t.Fatal(err)
+			}
+
+			tc.mut(t, p.AS, a)
+
+			if _, err := m.Restore(); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			if got := p.AS.ReadWord(a + mem.PageSize); got != 0xFACE {
+				t.Fatalf("contents after restore = %#x", got)
+			}
+		})
+	}
+}

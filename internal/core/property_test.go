@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"groundhog/internal/kernel"
+	"groundhog/internal/mem"
+	"groundhog/internal/vm"
+)
+
+// mutation is one step of an adversarial request trying to leave traces.
+type mutation struct {
+	Op   uint8
+	A, B uint16
+	V    uint64
+}
+
+// applyMutations plays an arbitrary request against the process: heap
+// writes, stack writes, register tampering, mmap/munmap, brk movement,
+// madvise, mprotect, and demand-faulting reads.
+func applyMutations(p *kernel.Process, muts []mutation) {
+	as := p.AS
+	heap := as.HeapBase()
+	var mapped []vm.Addr
+	for _, mu := range muts {
+		switch mu.Op % 9 {
+		case 0: // heap write (skipped if an earlier step made the page read-only)
+			brk, _ := as.Brk(0)
+			if brk > heap {
+				pages := int((brk - heap) / mem.PageSize)
+				addr := heap + vm.Addr(int(mu.A)%pages*mem.PageSize) + vm.Addr(mu.B%500*8)
+				if v, ok := as.FindVMA(addr); ok && v.Prot&vm.ProtWrite != 0 {
+					as.WriteWord(addr, mu.V)
+				}
+			}
+		case 1: // stack write
+			as.WriteWord(vm.StackTop-vm.Addr(mu.A%2000)*8-8, mu.V)
+		case 2: // register tampering
+			th := p.Threads[int(mu.A)%len(p.Threads)]
+			th.Regs.GP[int(mu.B)%len(th.Regs.GP)] = mu.V
+		case 3: // new mapping, possibly written
+			if a, err := as.Mmap((int(mu.A%6)+1)*mem.PageSize, vm.ProtRW, vm.KindAnon, "req"); err == nil {
+				mapped = append(mapped, a)
+				as.WriteWord(a, mu.V)
+			}
+		case 4: // unmap part of a request mapping
+			if len(mapped) > 0 {
+				a := mapped[int(mu.A)%len(mapped)]
+				_ = as.Munmap(a, (int(mu.B%3)+1)*mem.PageSize)
+			}
+		case 5: // grow or shrink the heap
+			delta := int(mu.A%64) * mem.PageSize
+			if _, err := as.Brk(heap + vm.Addr(delta)); err != nil {
+				return
+			}
+		case 6: // madvise part of the heap away
+			brk, _ := as.Brk(0)
+			if brk > heap {
+				_ = as.Madvise(heap, mem.PageSize)
+			}
+		case 7: // mprotect a snapshot heap page read-only
+			brk, _ := as.Brk(0)
+			if brk > heap {
+				_ = as.Mprotect(heap, mem.PageSize, vm.ProtRead)
+			}
+		case 8: // demand-fault a read-only touch of the stack
+			as.TouchPage((vm.StackTop - vm.Addr(mu.A%1000+1)*mem.PageSize).PageNum())
+		}
+	}
+}
+
+// Property: for ANY sequence of request-side mutations, Restore returns the
+// process to a state indistinguishable from the snapshot.
+func TestRestoreUndoesArbitraryMutations(t *testing.T) {
+	f := func(muts []mutation) bool {
+		k := kernel.New(kernel.Default())
+		p, err := k.Spawn(kernel.ExecSpec{TextPages: 4, DataPages: 2, Threads: 2})
+		if err != nil {
+			return false
+		}
+		heap := p.AS.HeapBase()
+		if _, err := p.AS.Brk(heap + 32*mem.PageSize); err != nil {
+			return false
+		}
+		for i := 0; i < 32; i++ {
+			p.AS.WriteWord(heap+vm.Addr(i*mem.PageSize), 0xBEEF0000+uint64(i))
+		}
+		m, err := NewManager(k, p, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		if _, err := m.TakeSnapshot(); err != nil {
+			return false
+		}
+
+		applyMutations(p, muts)
+
+		if _, err := m.Restore(); err != nil {
+			t.Logf("restore failed: %v", err)
+			return false
+		}
+		if err := m.Verify(); err != nil {
+			t.Logf("verify failed: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the dirty set reported by restore never under-approximates the
+// pages a request wrote (soft-dirty completeness).
+func TestDirtyTrackingCompleteness(t *testing.T) {
+	f := func(writes []uint8) bool {
+		k := kernel.New(kernel.Default())
+		p, err := k.Spawn(kernel.ExecSpec{TextPages: 2, Threads: 1})
+		if err != nil {
+			return false
+		}
+		heap := p.AS.HeapBase()
+		const pages = 64
+		if _, err := p.AS.Brk(heap + pages*mem.PageSize); err != nil {
+			return false
+		}
+		for i := 0; i < pages; i++ {
+			p.AS.TouchPage(heap.PageNum() + uint64(i))
+		}
+		m, err := NewManager(k, p, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		if _, err := m.TakeSnapshot(); err != nil {
+			return false
+		}
+		written := map[uint64]bool{}
+		for _, w := range writes {
+			vpn := heap.PageNum() + uint64(w%pages)
+			p.AS.WriteWord(vm.PageAddr(vpn), uint64(w)+1)
+			written[vpn] = true
+		}
+		st, err := m.Restore()
+		if err != nil {
+			return false
+		}
+		// Every written page must have been found dirty and restored.
+		return st.DirtyPages >= len(written) && st.RestoredPages >= len(written)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: repeated request/restore cycles never drift — Verify holds after
+// every cycle and the physical frame count returns to its post-snapshot
+// level (no leak across cycles).
+func TestRepeatedCyclesDoNotDrift(t *testing.T) {
+	k := kernel.New(kernel.Default())
+	p, err := k.Spawn(kernel.ExecSpec{TextPages: 4, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := p.AS.HeapBase()
+	if _, err := p.AS.Brk(heap + 16*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		p.AS.WriteWord(heap+vm.Addr(i*mem.PageSize), uint64(i))
+	}
+	m, err := NewManager(k, p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TakeSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	baselineFrames := k.Phys.InUse()
+	for cycle := 0; cycle < 25; cycle++ {
+		// A request that leaks memory on purpose (the logging(p) bug from
+		// §5.3.1): it maps a region and never frees it.
+		if _, err := p.AS.Mmap(4*mem.PageSize, vm.ProtRW, vm.KindAnon, "leak"); err != nil {
+			t.Fatal(err)
+		}
+		p.AS.WriteWord(heap+vm.Addr(cycle%16)*mem.PageSize, 0xBAD)
+		if _, err := m.Restore(); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if err := m.Verify(); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if k.Phys.InUse() > baselineFrames {
+			t.Fatalf("cycle %d: leaked frames: %d > %d", cycle, k.Phys.InUse(), baselineFrames)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"groundhog/internal/procfs"
+	"groundhog/internal/sim"
+	"groundhog/internal/vm"
+)
+
+// layoutDiff is the plan computed by diffing the current memory layout
+// against the snapshot (§4.4: "grown, shrunk, merged, split, deleted, new
+// memory regions").
+type layoutDiff struct {
+	unmap     []vm.VMA // present now, absent in snapshot
+	remap     []vm.VMA // absent now, present in snapshot (attrs from snapshot)
+	reprotect []vm.VMA // same range, protection differs (attrs from snapshot)
+	brkDelta  bool
+}
+
+func (d *layoutDiff) ops() int {
+	n := len(d.unmap) + len(d.remap) + len(d.reprotect)
+	if d.brkDelta {
+		n++
+	}
+	return n
+}
+
+// diffLayouts compares region lists with a boundary sweep. Both lists must
+// be sorted by start address (as /proc maps and vm.VMAs always are). Heap
+// growth and shrinkage are left to the brk injection, but heap protection
+// changes are reverted like any other region's.
+func diffLayouts(cur, snap []vm.VMA) layoutDiff {
+	type attrs struct {
+		prot vm.Prot
+		kind vm.Kind
+		name string
+		ok   bool
+	}
+
+	// Collect every boundary.
+	var cuts []vm.Addr
+	for _, v := range append(append([]vm.VMA{}, cur...), snap...) {
+		cuts = append(cuts, v.Start, v.End)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	cuts = dedupAddrs(cuts)
+
+	lookup := func(layout []vm.VMA, a vm.Addr) attrs {
+		i := sort.Search(len(layout), func(i int) bool { return layout[i].End > a })
+		if i < len(layout) && layout[i].Contains(a) {
+			v := layout[i]
+			return attrs{prot: v.Prot, kind: v.Kind, name: v.Name, ok: true}
+		}
+		return attrs{}
+	}
+
+	var d layoutDiff
+	appendRun := func(list []vm.VMA, v vm.VMA) []vm.VMA {
+		// Merge with the previous interval when contiguous and compatible,
+		// so one syscall covers a whole changed range.
+		if n := len(list); n > 0 && list[n-1].End == v.Start && list[n-1].SameAttrs(v) {
+			list[n-1].End = v.End
+			return list
+		}
+		return append(list, v)
+	}
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		c, s := lookup(cur, lo), lookup(snap, lo)
+		switch {
+		case c.ok && !s.ok:
+			if c.kind == vm.KindHeap {
+				break // heap growth: reversed by the brk injection
+			}
+			d.unmap = appendRun(d.unmap, vm.VMA{Start: lo, End: hi, Prot: c.prot, Kind: c.kind, Name: c.name})
+		case !c.ok && s.ok:
+			if s.kind == vm.KindHeap {
+				break // heap shrinkage: reversed by the brk injection
+			}
+			d.remap = appendRun(d.remap, vm.VMA{Start: lo, End: hi, Prot: s.prot, Kind: s.kind, Name: s.name})
+		case c.ok && s.ok && (c.prot != s.prot):
+			d.reprotect = appendRun(d.reprotect, vm.VMA{Start: lo, End: hi, Prot: s.prot, Kind: s.kind, Name: s.name})
+		}
+	}
+	return d
+}
+
+func dedupAddrs(in []vm.Addr) []vm.Addr {
+	out := in[:0]
+	for i, a := range in {
+		if i == 0 || a != out[len(out)-1] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// vpnRun is a maximal run of consecutive page numbers.
+type vpnRun struct {
+	start uint64
+	n     int
+}
+
+// runsOf groups a sorted vpn list into maximal consecutive runs.
+func runsOf(vpns []uint64) []vpnRun {
+	var runs []vpnRun
+	for _, vpn := range vpns {
+		if n := len(runs); n > 0 && runs[n-1].start+uint64(runs[n-1].n) == vpn {
+			runs[n-1].n++
+			continue
+		}
+		runs = append(runs, vpnRun{start: vpn, n: 1})
+	}
+	return runs
+}
+
+// Restore rolls the function process back to the snapshot (§4.4). It must
+// run between requests: the caller guarantees the function has returned its
+// response and is quiescent. The returned stats carry the per-phase
+// breakdown plotted in Fig. 8.
+func (m *Manager) Restore() (RestoreStats, error) {
+	if m.snap == nil {
+		return RestoreStats{}, fmt.Errorf("core: restore before snapshot")
+	}
+	meter := sim.NewMeter()
+	m.tracer.SetMeter(meter)
+	defer m.tracer.SetMeter(nil)
+	as := m.proc.AS
+
+	// 1. Interrupt every thread.
+	meter.BeginPhase(PhaseInterrupt)
+	if err := m.tracer.InterruptAll(); err != nil {
+		return RestoreStats{}, err
+	}
+
+	// 2. Read the current memory map.
+	meter.BeginPhase(PhaseReadMaps)
+	mapsText := m.fs.Maps(m.proc, meter)
+	curLayout, err := procfs.ParseMaps(mapsText)
+	if err != nil {
+		return RestoreStats{}, fmt.Errorf("core: restore maps: %w", err)
+	}
+
+	// 3. Scan page metadata: which pages are resident, which are dirty.
+	// Under soft-dirty tracking this walks the pagemap of the whole address
+	// space; under UFFD the dirty set was accumulated by the fault handler
+	// during the request, so the scan cost is per dirty page only.
+	meter.BeginPhase(PhaseScanPages)
+	var dirty []uint64
+	present := make(map[uint64]bool)
+	var mappedPages int
+	if m.opts.Tracker == TrackUffd {
+		dirty = as.SoftDirtyVPNs()
+		for _, vpn := range as.ResidentVPNs() {
+			present[vpn] = true
+		}
+		mappedPages = as.MappedPages()
+		sim.ChargeTo(meter, m.kern.Cost.PagemapPerPage*sim.Duration(len(dirty)))
+	} else {
+		flags := m.fs.Pagemap(m.proc, meter)
+		mappedPages = len(flags)
+		for _, pf := range flags {
+			if pf.Present {
+				present[pf.VPN] = true
+				if pf.SoftDirty {
+					dirty = append(dirty, pf.VPN)
+				}
+			}
+		}
+	}
+
+	// 4. Diff the memory layouts.
+	meter.BeginPhase(PhaseDiff)
+	diff := diffLayouts(curLayout, m.snap.layout)
+	curBrk, err := as.Brk(0)
+	if err != nil {
+		return RestoreStats{}, err
+	}
+	diff.brkDelta = curBrk != m.snap.brk
+	sim.ChargeTo(meter, m.kern.Cost.DiffPerVMA*sim.Duration(len(curLayout)+len(m.snap.layout)))
+
+	stats := RestoreStats{
+		MappedPages: mappedPages,
+		DirtyPages:  len(dirty),
+	}
+
+	// 5. Reverse layout changes by injecting syscalls.
+	meter.BeginPhase(PhaseBrk)
+	if diff.brkDelta {
+		if err := m.tracer.InjectBrk(m.snap.brk); err != nil {
+			return RestoreStats{}, fmt.Errorf("core: restore brk: %w", err)
+		}
+		stats.LayoutOps++
+	}
+	meter.BeginPhase(PhaseMunmap)
+	for _, v := range diff.unmap {
+		if err := m.tracer.InjectMunmap(v.Start, v.Len()); err != nil {
+			return RestoreStats{}, fmt.Errorf("core: restore munmap %v: %w", v, err)
+		}
+		stats.LayoutOps++
+	}
+	meter.BeginPhase(PhaseMmap)
+	for _, v := range diff.remap {
+		if err := m.tracer.InjectMmapFixed(v.Start, v.Len(), v.Prot, v.Kind, v.Name); err != nil {
+			return RestoreStats{}, fmt.Errorf("core: restore mmap %v: %w", v, err)
+		}
+		stats.LayoutOps++
+	}
+	meter.BeginPhase(PhaseMprotect)
+	for _, v := range diff.reprotect {
+		if err := m.tracer.InjectMprotect(v.Start, v.Len(), v.Prot); err != nil {
+			return RestoreStats{}, fmt.Errorf("core: restore mprotect %v: %w", v, err)
+		}
+		stats.LayoutOps++
+	}
+
+	// 6. Madvise newly paged pages: resident now, absent from the snapshot,
+	// inside regions that survive. (Pages in removed regions are already
+	// gone with their munmap.)
+	meter.BeginPhase(PhaseMadvise)
+	snapLayout := m.snap.layout
+	covered := func(vpn uint64) bool {
+		a := vm.PageAddr(vpn)
+		i := sort.Search(len(snapLayout), func(i int) bool { return snapLayout[i].End > a })
+		return i < len(snapLayout) && snapLayout[i].Contains(a)
+	}
+	var fresh []uint64
+	for vpn := range present {
+		if !m.snap.has(vpn) && covered(vpn) {
+			fresh = append(fresh, vpn)
+		}
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+	for _, r := range runsOf(fresh) {
+		if err := m.tracer.InjectMadvise(vm.PageAddr(r.start), r.n*4096); err != nil {
+			return RestoreStats{}, fmt.Errorf("core: restore madvise: %w", err)
+		}
+		stats.LayoutOps++
+	}
+	stats.DroppedPages = len(fresh)
+
+	// 7. Restore memory contents: every snapshot page that is dirty, or
+	// that lost its frame (madvised away or in a re-created region), gets
+	// its recorded contents back. Contiguous pages coalesce into larger
+	// copies when enabled.
+	meter.BeginPhase(PhaseRestoreMem)
+	var toRestore []uint64
+	dirtySet := make(map[uint64]bool, len(dirty))
+	for _, vpn := range dirty {
+		dirtySet[vpn] = true
+	}
+	phys := m.kern.Phys
+	for _, vpn := range m.snap.order {
+		if dirtySet[vpn] {
+			toRestore = append(toRestore, vpn)
+			continue
+		}
+		// Page content lives only in the snapshot: re-poke if it is no
+		// longer resident and has real content. (Zero pages refault to
+		// zero on demand; no copy needed.)
+		if !m.residentNow(vpn) && !m.snap.zeroContent(vpn, phys) {
+			toRestore = append(toRestore, vpn)
+		}
+	}
+	for _, r := range runsOf(toRestore) {
+		for i := 0; i < r.n; i++ {
+			vpn := r.start + uint64(i)
+			if m.snap.frames != nil {
+				as.PokePageFromFrame(vpn, m.snap.frames[vpn])
+			} else {
+				as.PokePage(vpn, m.snap.pages[vpn])
+			}
+			if i == 0 || !m.opts.Coalesce {
+				sim.ChargeTo(meter, m.kern.Cost.PageCopy)
+			} else {
+				sim.ChargeTo(meter, m.kern.Cost.PageCopyTail)
+			}
+		}
+	}
+	stats.RestoredPages = len(toRestore)
+
+	// 8. Clear the soft-dirty bits (or re-arm UFFD write protection on the
+	// pages that faulted).
+	meter.BeginPhase(PhaseClearSD)
+	if m.opts.Tracker == TrackUffd {
+		as.ClearSoftDirty()
+		sim.ChargeTo(meter, m.kern.Cost.ClearRefsPerPage*sim.Duration(len(dirty)))
+	} else {
+		m.fs.ClearRefs(m.proc, meter)
+	}
+
+	// 9. Restore registers of all threads.
+	meter.BeginPhase(PhaseRestoreRegs)
+	for _, th := range m.proc.Threads {
+		regs, ok := m.snap.regs[th.TID]
+		if !ok {
+			return RestoreStats{}, fmt.Errorf("core: thread %d appeared after snapshot", th.TID)
+		}
+		if err := m.tracer.SetRegs(th.TID, regs); err != nil {
+			return RestoreStats{}, err
+		}
+	}
+
+	// 10. Detach (release the stop; the manager stays seized).
+	meter.BeginPhase(PhaseDetach)
+	sim.ChargeTo(meter, m.kern.Cost.PtraceDetachPerThread*sim.Duration(len(m.proc.Threads)))
+	if err := m.tracer.Resume(); err != nil {
+		return RestoreStats{}, err
+	}
+	meter.BeginPhase("")
+
+	stats.Total = meter.Total()
+	stats.PhaseDurations = make(map[string]sim.Duration, len(Phases))
+	for _, ph := range Phases {
+		stats.PhaseDurations[ph] = meter.Phase(ph)
+	}
+	return stats, nil
+}
+
+// residentNow reports whether the page currently has a backing frame.
+func (m *Manager) residentNow(vpn uint64) bool {
+	_, ok := m.proc.AS.PTEAt(vpn)
+	return ok
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadSweepShape(t *testing.T) {
+	cfg := quick()
+	tb, err := LoadSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tb.Render()), "\n")[3:]
+	if len(lines) != 7 {
+		t.Fatalf("sweep points = %d", len(lines))
+	}
+	// Columns: load% baseMean baseP95 ghMean ghP95 ghQueue
+	parse := func(line string) (baseMean, ghMean, ghQueue float64) {
+		f := strings.Fields(line)
+		return cellValue(t, f[1]), cellValue(t, f[3]), cellValue(t, f[5])
+	}
+	// At the lowest load, GH tracks BASE within a small margin.
+	b10, g10, _ := parse(lines[0])
+	if g10 > b10*1.2 {
+		t.Fatalf("GH at 10%% load (%.2fms) far above BASE (%.2fms)", g10, b10)
+	}
+	// Past saturation, GH queues substantially more than at low load.
+	_, gHigh, qHigh := parse(lines[len(lines)-1])
+	if gHigh < g10 {
+		t.Fatalf("GH latency did not grow with load: %.2f -> %.2f", g10, gHigh)
+	}
+	if qHigh <= 0.5 {
+		t.Fatalf("no queueing at 110%% load: %.2fms", qHigh)
+	}
+}
+
+func TestAblationTrustShape(t *testing.T) {
+	cfg := quick()
+	tb, err := AblationTrust(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tb.Render()), "\n")[3:]
+	if len(lines) != 3 {
+		t.Fatalf("patterns = %d", len(lines))
+	}
+	// same-caller: trust skips nearly every restore.
+	same := strings.Fields(lines[0])
+	if r := cellValue(t, same[len(same)-1]); r > 0.2 {
+		t.Fatalf("same-caller pattern still restored %.2f/req", r)
+	}
+	// alternating callers: trust cannot skip anything (every request
+	// changes principal), restores/req ≈ 1.
+	alt := strings.Fields(lines[len(lines)-1])
+	if r := cellValue(t, alt[len(alt)-1]); r < 0.8 {
+		t.Fatalf("alternating pattern skipped restores unsafely: %.2f/req", r)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"groundhog/internal/isolation"
+	"groundhog/internal/metrics"
+)
+
+// relCell formats x/base, or "-" when the configuration is inapplicable.
+func relCell(row Row, mode isolation.Mode, pick func(*Cell) float64) string {
+	base := row.Cell(isolation.ModeBase)
+	c := row.Cell(mode)
+	if c == nil || base == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", metrics.Ratio(pick(c), pick(base)))
+}
+
+// Fig4E2E renders the relative end-to-end latency panels of Fig. 4
+// (values are ratios to BASE; < 1 is better than the baseline).
+func Fig4E2E(ds *Dataset) *metrics.Table {
+	t := metrics.NewTable("Fig. 4 (a,c,e): relative end-to-end latency vs BASE",
+		"benchmark", "suite", "gh-nop", "gh", "fork", "faasm")
+	for _, row := range ds.Rows {
+		t.AddRow(
+			row.Entry.Prof.DisplayName(),
+			string(row.Entry.Suite),
+			relCell(row, isolation.ModeGHNop, func(c *Cell) float64 { return c.E2EMeanMS }),
+			relCell(row, isolation.ModeGH, func(c *Cell) float64 { return c.E2EMeanMS }),
+			relCell(row, isolation.ModeFork, func(c *Cell) float64 { return c.E2EMeanMS }),
+			relCell(row, isolation.ModeFaasm, func(c *Cell) float64 { return c.E2EMeanMS }),
+		)
+	}
+	return t
+}
+
+// Fig4Invoker renders the relative invoker-measured latency panels of
+// Fig. 4 (b,d,f).
+func Fig4Invoker(ds *Dataset) *metrics.Table {
+	t := metrics.NewTable("Fig. 4 (b,d,f): relative invoker latency vs BASE",
+		"benchmark", "suite", "gh-nop", "gh", "fork", "faasm")
+	for _, row := range ds.Rows {
+		t.AddRow(
+			row.Entry.Prof.DisplayName(),
+			string(row.Entry.Suite),
+			relCell(row, isolation.ModeGHNop, func(c *Cell) float64 { return c.InvMeanMS }),
+			relCell(row, isolation.ModeGH, func(c *Cell) float64 { return c.InvMeanMS }),
+			relCell(row, isolation.ModeFork, func(c *Cell) float64 { return c.InvMeanMS }),
+			relCell(row, isolation.ModeFaasm, func(c *Cell) float64 { return c.InvMeanMS }),
+		)
+	}
+	return t
+}
+
+// Fig5 renders the relative throughput figure. The "pred" column is the
+// reciprocal the paper prints above each group of bars:
+// 1 / (1 + (in-function overhead + restoration) / baseline invoker latency),
+// which GH's measured relative throughput should approximate (§5.3.1).
+func Fig5(ds *Dataset) *metrics.Table {
+	t := metrics.NewTable("Fig. 5: relative throughput vs BASE",
+		"benchmark", "suite", "gh-nop", "gh", "fork", "pred")
+	for _, row := range ds.Rows {
+		pred := "-"
+		if b, g := row.Cell(isolation.ModeBase), row.Cell(isolation.ModeGH); b != nil && g != nil && b.InvMeanMS > 0 {
+			overhead := (g.InvMeanMS - b.InvMeanMS) + g.RestoreMeanMS
+			pred = fmt.Sprintf("%.2f", 1/(1+overhead/b.InvMeanMS))
+		}
+		t.AddRow(
+			row.Entry.Prof.DisplayName(),
+			string(row.Entry.Suite),
+			relCell(row, isolation.ModeGHNop, func(c *Cell) float64 { return c.Throughput }),
+			relCell(row, isolation.ModeGH, func(c *Cell) float64 { return c.Throughput }),
+			relCell(row, isolation.ModeFork, func(c *Cell) float64 { return c.Throughput }),
+			pred,
+		)
+	}
+	return t
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"groundhog/internal/catalog"
+	"groundhog/internal/isolation"
+	"groundhog/internal/metrics"
+	"groundhog/internal/trace"
+)
+
+// fleetMix is the mixed workload of the fleet experiment: short and medium
+// functions across all three runtimes, with Azure-style bursty arrivals for
+// the short ones ([39]: most functions are short and bursty).
+var fleetMix = []struct {
+	name  string
+	rate  float64
+	burst float64
+}{
+	{"get-time (p)", 40, 4},
+	{"version (p)", 25, 4},
+	{"md2html (p)", 12, 2},
+	{"sentiment (p)", 8, 2},
+	{"bicg (c)", 6, 1},
+	{"get-time (n)", 15, 4},
+}
+
+// Fleet runs the provider-level extension experiment: a shared host serving
+// a mixed multi-function workload with dynamic pools and keep-alive, under
+// BASE vs GH. Expected shape: identical cold-start behaviour (Groundhog
+// does not change scheduling), mean latency within a few ms at these
+// moderate per-function loads, restores == requests under GH, and a modest
+// fleet-wide memory increase from the managers' state.
+func Fleet(cfg Config) (*metrics.Table, error) {
+	var loads []trace.FunctionLoad
+	for _, m := range fleetMix {
+		e, err := catalog.Lookup(m.name)
+		if err != nil {
+			return nil, err
+		}
+		loads = append(loads, trace.FunctionLoad{Entry: e, RatePerSec: m.rate, Burstiness: m.burst})
+	}
+
+	window := 4 * time.Second
+	if cfg.MaxBenchmarks > 0 { // quick configuration
+		window = 2 * time.Second
+		loads = loads[:3]
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("Fleet (extension): %d functions on one host, dynamic pools, %v window", len(loads), window),
+		"function", "mode", "requests", "cold starts", "restores", "E2E p50(ms)", "E2E p95(ms)", "queue mean(ms)")
+	for _, mode := range []isolation.Mode{isolation.ModeBase, isolation.ModeGH} {
+		fl, err := trace.NewFleet(trace.Config{
+			Cost:                     cfg.Cost,
+			Mode:                     mode,
+			Seed:                     cfg.Seed,
+			MaxContainersPerFunction: 3,
+			KeepAlive:                1500 * time.Millisecond,
+			Window:                   window,
+		}, loads)
+		if err != nil {
+			return nil, err
+		}
+		res, err := fl.Run()
+		if err != nil {
+			return nil, err
+		}
+		for _, fs := range res.PerFunction {
+			t.AddRow(fs.Name, string(mode),
+				fmt.Sprintf("%d", fs.Requests),
+				fmt.Sprintf("%d", fs.ColdStarts),
+				fmt.Sprintf("%d", fs.Restores),
+				fmt.Sprintf("%.1f", fs.E2E.Median()),
+				fmt.Sprintf("%.1f", fs.E2E.Percentile(95)),
+				fmt.Sprintf("%.2f", fs.Queue.Mean()))
+		}
+		t.AddRow(fmt.Sprintf("(fleet peak: %d frames)", res.PeakFrames), string(mode))
+	}
+	return t, nil
+}

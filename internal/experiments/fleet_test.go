@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFleetExperimentShape(t *testing.T) {
+	cfg := quick()
+	tb, err := Fleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tb.Render()), "\n")[3:]
+	type row struct {
+		requests, coldStarts, restores int
+		p50                            float64
+	}
+	rows := map[string]row{} // "fn|mode"
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if strings.HasPrefix(f[0], "(fleet") {
+			continue
+		}
+		// name may contain spaces: "get-time (p)" → first two fields.
+		name := f[0] + " " + f[1]
+		mode := f[2]
+		atoi := func(s string) int {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				t.Fatalf("cell %q: %v", s, err)
+			}
+			return v
+		}
+		rows[name+"|"+mode] = row{
+			requests:   atoi(f[3]),
+			coldStarts: atoi(f[4]),
+			restores:   atoi(f[5]),
+			p50:        cellValue(t, f[6]),
+		}
+	}
+	if len(rows) < 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for key, r := range rows {
+		mode := strings.Split(key, "|")[1]
+		switch mode {
+		case "base":
+			if r.restores != 0 {
+				t.Fatalf("%s: BASE restored", key)
+			}
+		case "gh":
+			if r.restores != r.requests {
+				t.Fatalf("%s: %d restores for %d requests", key, r.restores, r.requests)
+			}
+		}
+	}
+	// Same workload seed: request counts match across modes, and GH's
+	// median latency stays within 2x of BASE for every function.
+	for key, r := range rows {
+		if !strings.HasSuffix(key, "|base") {
+			continue
+		}
+		fn := strings.TrimSuffix(key, "|base")
+		g, ok := rows[fn+"|gh"]
+		if !ok {
+			t.Fatalf("missing GH row for %s", fn)
+		}
+		if g.requests != r.requests {
+			t.Fatalf("%s: request counts diverge: base %d, gh %d", fn, r.requests, g.requests)
+		}
+		if g.p50 > r.p50*2 {
+			t.Fatalf("%s: GH p50 %.1f far above BASE %.1f", fn, g.p50, r.p50)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationStateStoreShape(t *testing.T) {
+	tb, err := AblationStateStore(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tb.Render()), "\n")[3:]
+	if len(lines) != 2 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	copyRow := strings.Fields(lines[0])
+	cowRow := strings.Fields(lines[1])
+	// Columns: store snapshot(ms) storeMB first(ms) steady(ms) restore(ms)
+	if cellValue(t, cowRow[1]) >= cellValue(t, copyRow[1]) {
+		t.Fatal("CoW snapshot not cheaper than eager copy")
+	}
+	if cellValue(t, cowRow[2]) >= cellValue(t, copyRow[2]) {
+		t.Fatal("CoW store not smaller than eager store")
+	}
+	if cellValue(t, cowRow[3]) <= cellValue(t, cowRow[4]) {
+		t.Fatal("CoW first request should pay one-time copying faults")
+	}
+	// Steady-state requests cost the same under both stores.
+	if cowSteady, copySteady := cellValue(t, cowRow[4]), cellValue(t, copyRow[4]); cowSteady != copySteady {
+		t.Fatalf("steady-state costs diverge: cow %v, copy %v", cowSteady, copySteady)
+	}
+}
+
+func TestRelatedWorkOrdering(t *testing.T) {
+	tb, err := RelatedWork(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tb.Render()), "\n")[3:]
+	onPath := map[string]float64{}
+	for _, line := range lines {
+		f := strings.Fields(line)
+		onPath[f[0]] = cellValue(t, f[len(f)-2])
+	}
+	gh := onPath["Groundhog"]
+	if gh > 2 {
+		t.Fatalf("Groundhog critical path %.2fms, want ~1ms", gh)
+	}
+	for _, sys := range []string{"REAP", "Catalyzer", "CRIU"} {
+		if onPath[sys] < gh*20 {
+			t.Fatalf("%s (%.1fms) not far above Groundhog (%.2fms)", sys, onPath[sys], gh)
+		}
+	}
+	if onPath["REAP"] >= onPath["Catalyzer"] || onPath["Catalyzer"] >= onPath["CRIU"] {
+		t.Fatal("related-work ordering broken (§6: REAP < Catalyzer < CRIU)")
+	}
+}

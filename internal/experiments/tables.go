@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"groundhog/internal/isolation"
+	"groundhog/internal/metrics"
+)
+
+// Table1 renders the absolute measurements (the paper's Table 1): E2E
+// latency, invoker latency and throughput per benchmark and configuration.
+func Table1(ds *Dataset) *metrics.Table {
+	t := metrics.NewTable("Table 1: absolute latency and throughput",
+		"benchmark", "mode", "E2E(ms)", "±std", "inv(ms)", "±std", "tput(r/s)")
+	for _, row := range ds.Rows {
+		for _, mode := range isolation.Modes {
+			c := row.Cell(mode)
+			if c == nil {
+				continue
+			}
+			t.AddRow(
+				row.Entry.Prof.DisplayName(),
+				string(mode),
+				fmt.Sprintf("%.1f", c.E2EMeanMS),
+				fmt.Sprintf("%.1f", c.E2EStdMS),
+				fmt.Sprintf("%.1f", c.InvMeanMS),
+				fmt.Sprintf("%.1f", c.InvStdMS),
+				fmt.Sprintf("%.2f", c.Throughput),
+			)
+		}
+	}
+	return t
+}
+
+// Table2 renders the relative overheads vs. the insecure baseline (the
+// paper's Table 2). Latency columns are percent overhead (positive is
+// worse); throughput columns are percent reduction.
+func Table2(ds *Dataset) *metrics.Table {
+	t := metrics.NewTable("Table 2: relative overheads vs BASE (%)",
+		"benchmark", "gh-nop E2E%", "gh E2E%", "fork E2E%", "faasm E2E%",
+		"gh inv%", "gh tput%")
+	for _, row := range ds.Rows {
+		base := row.Cell(isolation.ModeBase)
+		if base == nil {
+			continue
+		}
+		rel := func(mode isolation.Mode, pick func(*Cell) float64) string {
+			c := row.Cell(mode)
+			if c == nil {
+				return "-"
+			}
+			return fmt.Sprintf("%+.2f", metrics.RelOverheadPct(pick(c), pick(base)))
+		}
+		t.AddRow(
+			row.Entry.Prof.DisplayName(),
+			rel(isolation.ModeGHNop, func(c *Cell) float64 { return c.E2EMeanMS }),
+			rel(isolation.ModeGH, func(c *Cell) float64 { return c.E2EMeanMS }),
+			rel(isolation.ModeFork, func(c *Cell) float64 { return c.E2EMeanMS }),
+			rel(isolation.ModeFaasm, func(c *Cell) float64 { return c.E2EMeanMS }),
+			rel(isolation.ModeGH, func(c *Cell) float64 { return c.InvMeanMS }),
+			rel(isolation.ModeGH, func(c *Cell) float64 { return c.Throughput }),
+		)
+	}
+	return t
+}
+
+// Table3 renders the per-benchmark restoration detail (the paper's
+// Table 3), sorted like the paper by restoration time.
+func Table3(ds *Dataset) *metrics.Table {
+	t := metrics.NewTable("Table 3: baseline vs Groundhog, restoration detail (sorted by restore time)",
+		"benchmark", "base inv(ms)", "base tput", "gh inv(ms)", "gh tput",
+		"restore(ms)", "pagesK", "faultsK", "restoredK")
+	type line struct {
+		cells []string
+		key   float64
+	}
+	var lines []line
+	for _, row := range ds.Rows {
+		b, g := row.Cell(isolation.ModeBase), row.Cell(isolation.ModeGH)
+		if b == nil || g == nil {
+			continue
+		}
+		lines = append(lines, line{
+			key: g.RestoreMeanMS,
+			cells: []string{
+				row.Entry.Prof.DisplayName(),
+				fmt.Sprintf("%.1f", b.InvMeanMS),
+				fmt.Sprintf("%.2f", b.Throughput),
+				fmt.Sprintf("%.1f", g.InvMeanMS),
+				fmt.Sprintf("%.2f", g.Throughput),
+				fmt.Sprintf("%.2f", g.RestoreMeanMS),
+				fmt.Sprintf("%.2f", g.MappedPagesK),
+				fmt.Sprintf("%.2f", g.DirtyPagesK),
+				fmt.Sprintf("%.2f", g.RestoredPagesK),
+			},
+		})
+	}
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			if lines[j].key < lines[i].key {
+				lines[i], lines[j] = lines[j], lines[i]
+			}
+		}
+	}
+	for _, l := range lines {
+		t.AddRow(l.cells...)
+	}
+	return t
+}
+
+// Headline computes the aggregates quoted in the abstract and §1: median
+// and 95th-percentile relative overhead on end-to-end latency and
+// throughput, and the distribution of restore times (§3: median 3.7 ms).
+func Headline(ds *Dataset) *metrics.Table {
+	var e2eOv, tputRed, restores metrics.Summary
+	for _, row := range ds.Rows {
+		b, g := row.Cell(isolation.ModeBase), row.Cell(isolation.ModeGH)
+		if b == nil || g == nil {
+			continue
+		}
+		e2eOv.Add(metrics.RelOverheadPct(g.E2EMeanMS, b.E2EMeanMS))
+		tputRed.Add(-metrics.RelOverheadPct(g.Throughput, b.Throughput))
+		restores.Add(g.RestoreMeanMS)
+	}
+	t := metrics.NewTable("Headline aggregates (paper: E2E median 1.5% / 95p 7%; tput median 2.5% / 95p 49.6%; restore median 3.7ms)",
+		"metric", "median", "p95", "p10", "p90")
+	t.AddRow("E2E latency overhead (%)",
+		fmt.Sprintf("%.1f", e2eOv.Median()), fmt.Sprintf("%.1f", e2eOv.Percentile(95)),
+		fmt.Sprintf("%.1f", e2eOv.Percentile(10)), fmt.Sprintf("%.1f", e2eOv.Percentile(90)))
+	t.AddRow("throughput reduction (%)",
+		fmt.Sprintf("%.1f", tputRed.Median()), fmt.Sprintf("%.1f", tputRed.Percentile(95)),
+		fmt.Sprintf("%.1f", tputRed.Percentile(10)), fmt.Sprintf("%.1f", tputRed.Percentile(90)))
+	t.AddRow("restore time (ms)",
+		fmt.Sprintf("%.2f", restores.Median()), fmt.Sprintf("%.2f", restores.Percentile(95)),
+		fmt.Sprintf("%.2f", restores.Percentile(10)), fmt.Sprintf("%.2f", restores.Percentile(90)))
+	return t
+}

@@ -1,0 +1,387 @@
+// Package faas models the OpenWhisk-style platform the paper integrates
+// Groundhog into: an invoker that owns function containers pinned to cores,
+// actionloop-style stdin/stdout proxying, container cold starts with the
+// Fig. 1 phases (environment instantiation, runtime initialization, data
+// initialization, snapshot), and the two workload drivers of §5 — a
+// closed-loop low-load client for latency and a saturating driver for peak
+// throughput.
+//
+// One Platform instance evaluates one function in one configuration
+// (isolation mode, container count), exactly like the paper's per-benchmark
+// runs. The invoker enforces one-at-a-time execution per container and
+// buffers requests until the container's process is back in a clean state —
+// Groundhog's request-gating guarantee (§4.5).
+package faas
+
+import (
+	"fmt"
+
+	"groundhog/internal/core"
+	"groundhog/internal/isolation"
+	"groundhog/internal/kernel"
+	"groundhog/internal/runtimes"
+	"groundhog/internal/sim"
+)
+
+// RequestStats records one completed request.
+type RequestStats struct {
+	// Invoker is the function execution time measured at the invoker
+	// (critical path: proxying + in-function compute and faults).
+	Invoker sim.Duration
+	// E2E adds the platform path (controller, load balancer, network).
+	E2E sim.Duration
+	// Cleanup is the off-critical-path work after the response (restore).
+	Cleanup sim.Duration
+	// PreRestore is rollback work forced onto this request's critical path
+	// by the trusted-caller optimization: the previous caller's deferred
+	// restore ran just before this request (§4.4).
+	PreRestore sim.Duration
+	// Restore is Groundhog's breakdown, when state was rolled back.
+	Restore core.RestoreStats
+	// Restored reports whether the cleanup rolled state back.
+	Restored bool
+	// Completed is the virtual completion time of the response.
+	Completed sim.Time
+	// ReadyAgain is the virtual time the container could accept the next
+	// request (Completed + Cleanup).
+	ReadyAgain sim.Time
+}
+
+// ColdStartStats reports a container's initialization, phase by phase
+// (Fig. 1 of the paper).
+type ColdStartStats struct {
+	EnvInstantiation sim.Duration
+	RuntimeInit      sim.Duration // runtime + data initialization + dummy request
+	StrategyInit     sim.Duration // snapshotting (GH/FAASM), zero otherwise
+	Total            sim.Duration
+}
+
+// Container is one warm function container: a function process (plus
+// manager, for interposing strategies) pinned to one core.
+type Container struct {
+	ID    int
+	inst  *runtimes.Instance
+	strat isolation.Strategy
+
+	stdin  *kernel.Pipe
+	stdout *kernel.Pipe
+
+	cold ColdStartStats
+
+	// ready is when the container can accept the next request (it gates
+	// requests until restoration has finished, §4.5).
+	ready sim.Time
+
+	// lastCaller supports the trusted-caller optimization (§4.4): when the
+	// platform enables it and the next request comes from the same caller,
+	// the rollback is skipped.
+	lastCaller string
+	tainted    bool // state modified since the last rollback
+
+	// lastDone is when the most recent response completed (keep-alive
+	// bookkeeping for fleet dispatchers).
+	lastDone sim.Time
+
+	requests    uint64
+	requestsSeq uint64 // ID source for InvokeOnce and Serve
+}
+
+// notifyRestored routes the rollback notification according to the
+// platform's time-virtualization setting (§5.3.1).
+func (c *Container) notifyRestored(pl *Platform) {
+	if pl.VirtualizeTime {
+		c.inst.NotifyRestoredVirtualized()
+	} else {
+		c.inst.NotifyRestored()
+	}
+}
+
+// Ready reports when the container can accept its next request.
+func (c *Container) Ready() sim.Time { return c.ready }
+
+// LastDone reports when the container last completed a response (zero if it
+// has served none).
+func (c *Container) LastDone() sim.Time { return c.lastDone }
+
+// Requests reports the number of requests served.
+func (c *Container) Requests() uint64 { return c.requests }
+
+// ColdStart reports the container's initialization breakdown.
+func (c *Container) ColdStart() ColdStartStats { return c.cold }
+
+// Instance exposes the runtime instance (examples and tests use it).
+func (c *Container) Instance() *runtimes.Instance { return c.inst }
+
+// Platform hosts one function deployment under one isolation mode.
+type Platform struct {
+	Engine *sim.Engine
+	Kern   *kernel.Kernel
+
+	// TrustSameCaller enables the §4.4 optimization: consecutive requests
+	// from the same caller skip the rollback between them. The rollback
+	// still happens (before the next request) as soon as the caller
+	// changes, so isolation across callers is preserved.
+	TrustSameCaller bool
+
+	// DirectReturn enables the §4.5 design option (2): the function
+	// returns its response directly to the platform and only signals the
+	// manager, eliminating the output copy through the proxy. The input
+	// path is still gated by the manager.
+	DirectReturn bool
+
+	// VirtualizeTime enables the §5.3.1 future-work fix: restoration also
+	// resets the process's notion of time to the snapshot's, so
+	// time-driven runtime machinery (Node's GC) does not re-warm after
+	// every rollback.
+	VirtualizeTime bool
+
+	mode            isolation.Mode
+	prof            runtimes.Profile
+	containers      []*Container
+	rng             *sim.Rand
+	nextContainerID int
+}
+
+// NewPlatform deploys the function described by prof under the given
+// isolation mode on `containers` single-core containers, performing each
+// container's cold start (sequentially, as OpenWhisk's invoker does when
+// pre-warming). The platform owns a fresh engine and kernel.
+func NewPlatform(cost kernel.CostModel, prof runtimes.Profile, mode isolation.Mode, containers int, seed uint64) (*Platform, error) {
+	if containers < 1 {
+		return nil, fmt.Errorf("faas: need at least one container")
+	}
+	return NewPlatformOn(sim.NewEngine(), kernel.New(cost), prof, mode, containers, seed)
+}
+
+// NewPlatformOn deploys onto an existing engine and kernel, so that several
+// functions' platforms share one timeline and one memory pool (the fleet
+// simulation in internal/trace uses this). Zero initial containers are
+// allowed; AddContainer creates them on demand.
+func NewPlatformOn(eng *sim.Engine, kern *kernel.Kernel, prof runtimes.Profile, mode isolation.Mode, containers int, seed uint64) (*Platform, error) {
+	if containers < 0 {
+		return nil, fmt.Errorf("faas: negative container count")
+	}
+	pl := &Platform{
+		Engine: eng,
+		Kern:   kern,
+		mode:   mode,
+		prof:   prof,
+		rng:    sim.NewRand(seed),
+	}
+	for i := 0; i < containers; i++ {
+		c, err := pl.AddContainer()
+		if err != nil {
+			return nil, err
+		}
+		// Constructor containers are pre-warmed: the paper's experiments
+		// deliberately prevent cold starts (§5.1). Containers added later
+		// (fleet scaling) do pay their initialization delay.
+		c.ready = pl.Engine.Now()
+	}
+	return pl, nil
+}
+
+// AddContainer cold-starts one more container for this platform at the
+// current virtual time; it becomes ready once its initialization completes.
+func (pl *Platform) AddContainer() (*Container, error) {
+	id := pl.nextContainerID
+	pl.nextContainerID++
+	c, err := pl.coldStart(id, pl.rng.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	c.ready = pl.Engine.Now().Add(c.cold.Total)
+	pl.containers = append(pl.containers, c)
+	return c, nil
+}
+
+// RemoveContainer shuts a container down (keep-alive expiry), terminating
+// its function process and releasing its memory.
+func (pl *Platform) RemoveContainer(c *Container) {
+	pl.Kern.Exit(c.inst.Proc)
+	for i, x := range pl.containers {
+		if x == c {
+			pl.containers = append(pl.containers[:i], pl.containers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Serve executes one request from the given caller on container c at the
+// current virtual time. The container must be ready (Ready() <= now); the
+// scheduler — workload driver or fleet dispatcher — is responsible for that.
+func (pl *Platform) Serve(c *Container, caller string) (RequestStats, error) {
+	c.requestsSeq++
+	return pl.serveAs(c, c.requestsSeq, caller)
+}
+
+// Mode returns the platform's isolation mode.
+func (pl *Platform) Mode() isolation.Mode { return pl.mode }
+
+// Containers returns the warm containers.
+func (pl *Platform) Containers() []*Container { return pl.containers }
+
+// coldStart runs the Fig. 1 pipeline for one new container.
+func (pl *Platform) coldStart(id int, seed uint64) (*Container, error) {
+	cost := pl.Kern.Cost
+	m := sim.NewMeter()
+
+	// Environment instantiation: container image setup, cgroups, netns.
+	env := pl.rng.Jitter(cost.EnvInstantiation, 0.08)
+	sim.ChargeTo(m, env)
+
+	// Runtime + data initialization: spawn the runtime process and warm it
+	// (lazy loading, global state, the dummy request).
+	sim.ChargeTo(m, cost.SpawnProcess)
+	inst, err := runtimes.NewInstance(pl.Kern, pl.prof, seed)
+	if err != nil {
+		return nil, err
+	}
+	warmMeter := sim.NewMeter()
+	inst.WarmUp(warmMeter)
+	sim.ChargeTo(m, warmMeter.Total())
+
+	strat, err := isolation.New(pl.mode, pl.Kern, inst.Proc)
+	if err != nil {
+		return nil, err
+	}
+	inst.Wasm = pl.mode == isolation.ModeFaasm
+
+	stratInit, err := strat.Init()
+	if err != nil {
+		return nil, err
+	}
+	sim.ChargeTo(m, stratInit)
+
+	c := &Container{
+		ID:     id,
+		inst:   inst,
+		strat:  strat,
+		stdin:  kernel.NewPipe(fmt.Sprintf("c%d-stdin", id), cost.PipePerKB),
+		stdout: kernel.NewPipe(fmt.Sprintf("c%d-stdout", id), cost.PipePerKB),
+		cold: ColdStartStats{
+			EnvInstantiation: env,
+			RuntimeInit:      cost.SpawnProcess + warmMeter.Total(),
+			StrategyInit:     stratInit,
+			Total:            m.Total(),
+		},
+		ready: pl.Engine.Now(),
+	}
+	return c, nil
+}
+
+// serve executes one request synchronously against container c and returns
+// its stats. The caller is responsible for scheduling: c must be ready.
+func (pl *Platform) serve(c *Container, reqID uint64) (RequestStats, error) {
+	return pl.serveAs(c, reqID, "")
+}
+
+// InvokeOnce executes a single request from the given caller on the first
+// container, advancing virtual time past any in-progress restoration first
+// (the request-gating rule of §4.5). It is the entry point for interactive
+// front ends such as cmd/ghserve.
+func (pl *Platform) InvokeOnce(caller string) (RequestStats, error) {
+	if len(pl.containers) == 0 {
+		return RequestStats{}, fmt.Errorf("faas: no containers")
+	}
+	c := pl.containers[0]
+	if c.ready > pl.Engine.Now() {
+		pl.Engine.RunUntil(c.ready)
+	}
+	c.requestsSeq++
+	st, err := pl.serveAs(c, c.requestsSeq, caller)
+	if err != nil {
+		return RequestStats{}, err
+	}
+	pl.Engine.RunUntil(st.Completed)
+	return st, nil
+}
+
+// serveAs is serve with an explicit security principal. Under the
+// trusted-caller optimization, consecutive requests from the same principal
+// skip the rollback between them; a change of principal forces the deferred
+// rollback before the new request executes (§4.4).
+func (pl *Platform) serveAs(c *Container, reqID uint64, caller string) (RequestStats, error) {
+	cost := pl.Kern.Cost
+	m := sim.NewMeter()
+	req := runtimes.Request{ID: reqID, Caller: caller, SizeKB: pl.prof.InputKB}
+
+	// Deferred rollback: the container still holds the previous caller's
+	// state and this request must not see it.
+	var preRestore sim.Duration
+	if c.tainted && (!pl.TrustSameCaller || caller != c.lastCaller) {
+		cleanup, err := c.strat.EndRequest()
+		if err != nil {
+			return RequestStats{}, err
+		}
+		if cleanup.Restored {
+			c.notifyRestored(pl)
+		}
+		c.tainted = false
+		preRestore = cleanup.Duration
+	}
+
+	// Input path. Interposing strategies (Groundhog, fork) relay the
+	// request through the manager: an extra copy in and out (§4.5).
+	inMsg := kernel.Message{Payload: req, Size: pl.prof.InputKB * 1024}
+	if c.strat.Interposes() {
+		sim.ChargeTo(m, cost.ProxyPerRequest)
+		c.stdin.Send(inMsg, m)
+		if _, err := c.stdin.Recv(m); err != nil {
+			return RequestStats{}, err
+		}
+	}
+
+	proc, err := c.strat.BeginRequest(m)
+	if err != nil {
+		return RequestStats{}, err
+	}
+	resp := c.inst.InvokeOn(proc, req, m)
+
+	// Output path. With DirectReturn (§4.5 option 2) the function hands the
+	// response straight to the platform and merely signals the manager, so
+	// the proxy-side output copy disappears.
+	outMsg := kernel.Message{Payload: resp, Size: resp.SizeKB * 1024}
+	if c.strat.Interposes() && !pl.DirectReturn {
+		c.stdout.Send(outMsg, m)
+		if _, err := c.stdout.Recv(m); err != nil {
+			return RequestStats{}, err
+		}
+	}
+
+	// The response is now back at the invoker; cleanup happens after —
+	// unless the platform trusts the next same-caller request, in which
+	// case the rollback is deferred (and possibly elided entirely).
+	var cleanup isolation.CleanupResult
+	if pl.TrustSameCaller && c.strat.CanSkipCleanup() {
+		c.tainted = true
+		c.lastCaller = caller
+	} else {
+		var err error
+		cleanup, err = c.strat.EndRequest()
+		if err != nil {
+			return RequestStats{}, err
+		}
+		if cleanup.Restored {
+			c.notifyRestored(pl)
+		}
+		c.lastCaller = caller
+	}
+
+	invoker := m.Total()
+	e2e := preRestore + invoker + pl.rng.Jitter(cost.PlatformOverhead, 0.25)
+	completed := pl.Engine.Now().Add(preRestore + invoker)
+	c.requests++
+	c.lastDone = completed
+	c.ready = completed.Add(cleanup.Duration)
+	return RequestStats{
+		Invoker:    invoker,
+		E2E:        e2e,
+		Cleanup:    cleanup.Duration,
+		PreRestore: preRestore,
+		Restore:    cleanup.Restore,
+		Restored:   cleanup.Restored,
+		Completed:  completed,
+		ReadyAgain: c.ready,
+	}, nil
+}

@@ -1,0 +1,125 @@
+package faas
+
+import (
+	"testing"
+	"time"
+
+	"groundhog/internal/isolation"
+	"groundhog/internal/kernel"
+	"groundhog/internal/sim"
+)
+
+func TestAddContainerPaysColdStart(t *testing.T) {
+	pl := newPlatform(t, isolation.ModeGH, 1)
+	// Advance time a bit, then scale up: the new container is not ready
+	// until its cold start completes.
+	pl.Engine.RunUntil(sim.Time(100 * time.Millisecond))
+	c, err := pl.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ready() <= pl.Engine.Now() {
+		t.Fatal("scaled-up container ready instantly; cold start not charged")
+	}
+	if got := c.Ready().Sub(pl.Engine.Now()); got < 300*time.Millisecond {
+		t.Fatalf("cold start only %v; expected hundreds of ms (Fig. 1)", got)
+	}
+	if len(pl.Containers()) != 2 {
+		t.Fatalf("containers = %d", len(pl.Containers()))
+	}
+}
+
+func TestRemoveContainerFreesMemory(t *testing.T) {
+	pl := newPlatform(t, isolation.ModeBase, 2)
+	before := pl.Kern.Phys.InUse()
+	c := pl.Containers()[1]
+	pl.RemoveContainer(c)
+	if len(pl.Containers()) != 1 {
+		t.Fatalf("containers = %d after removal", len(pl.Containers()))
+	}
+	if pl.Kern.Phys.InUse() >= before {
+		t.Fatalf("removal freed no frames: %d -> %d", before, pl.Kern.Phys.InUse())
+	}
+	// Removing an unknown container is a no-op.
+	pl.RemoveContainer(c)
+	if len(pl.Containers()) != 1 {
+		t.Fatal("double removal corrupted the pool")
+	}
+}
+
+func TestInvokeOnceAdvancesVirtualTime(t *testing.T) {
+	pl := newPlatform(t, isolation.ModeGH, 1)
+	st1, err := pl.InvokeOnce("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Engine.Now() != st1.Completed {
+		t.Fatalf("clock %v, want completion %v", pl.Engine.Now(), st1.Completed)
+	}
+	// The second invocation waits out the restore gate.
+	st2, err := pl.InvokeOnce("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Completed <= st1.ReadyAgain {
+		t.Fatalf("second request overlapped the restore: %v <= %v", st2.Completed, st1.ReadyAgain)
+	}
+}
+
+func TestServeTracksLastDone(t *testing.T) {
+	pl := newPlatform(t, isolation.ModeBase, 1)
+	c := pl.Containers()[0]
+	if c.LastDone() != 0 {
+		t.Fatal("fresh container has a LastDone")
+	}
+	if _, err := pl.Serve(c, ""); err != nil {
+		t.Fatal(err)
+	}
+	if c.LastDone() == 0 || c.Requests() != 1 {
+		t.Fatalf("bookkeeping wrong: lastDone=%v requests=%d", c.LastDone(), c.Requests())
+	}
+}
+
+func TestSharedEngineAcrossPlatforms(t *testing.T) {
+	eng := sim.NewEngine()
+	kern := kernel.New(kernel.Default())
+	a, err := NewPlatformOn(eng, kern, testProfile(), isolation.ModeBase, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof2 := testProfile()
+	prof2.Name = "fn2"
+	b, err := NewPlatformOn(eng, kern, prof2, isolation.ModeGH, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Engine != b.Engine || a.Kern != b.Kern {
+		t.Fatal("platforms not sharing engine/kernel")
+	}
+	if _, err := a.InvokeOnce(""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.InvokeOnce(""); err != nil {
+		t.Fatal(err)
+	}
+	// Both functions' processes live in the same kernel.
+	if kern.NumProcesses() != 2 {
+		t.Fatalf("processes = %d, want 2", kern.NumProcesses())
+	}
+}
+
+func TestNewPlatformOnAllowsZeroContainers(t *testing.T) {
+	pl, err := NewPlatformOn(sim.NewEngine(), kernel.New(kernel.Default()), testProfile(), isolation.ModeBase, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Containers()) != 0 {
+		t.Fatal("expected empty pool")
+	}
+	if _, err := pl.InvokeOnce(""); err == nil {
+		t.Fatal("invoke with no containers succeeded")
+	}
+	if _, err := NewPlatformOn(sim.NewEngine(), kernel.New(kernel.Default()), testProfile(), isolation.ModeBase, -1, 1); err == nil {
+		t.Fatal("negative container count accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package faas
+
+import (
+	"fmt"
+	"math"
+
+	"groundhog/internal/metrics"
+	"groundhog/internal/sim"
+)
+
+// RunCallers drives the first container with a closed-loop client whose
+// requests carry the given sequence of security principals, cycling through
+// `callers` request by request. It exercises the trusted-caller optimization
+// (§4.4): with Platform.TrustSameCaller set, consecutive requests from the
+// same principal skip the rollback, and a change of principal pays the
+// deferred restore before executing.
+func (pl *Platform) RunCallers(callers []string, think sim.Duration) ([]RequestStats, error) {
+	if len(pl.containers) < 1 {
+		return nil, fmt.Errorf("faas: no containers")
+	}
+	if len(callers) == 0 {
+		return nil, fmt.Errorf("faas: empty caller sequence")
+	}
+	c := pl.containers[0]
+	out := make([]RequestStats, 0, len(callers))
+	var err error
+	idx := 0
+
+	var submit func()
+	submit = func() {
+		if err != nil || idx >= len(callers) {
+			return
+		}
+		wait := sim.Duration(0)
+		if c.ready > pl.Engine.Now() {
+			wait = c.ready.Sub(pl.Engine.Now())
+		}
+		pl.Engine.After(wait, func() {
+			caller := callers[idx]
+			idx++
+			st, serr := pl.serveAs(c, uint64(idx), caller)
+			if serr != nil {
+				err = serr
+				pl.Engine.Stop()
+				return
+			}
+			st.E2E += wait
+			out = append(out, st)
+			pl.Engine.At(st.Completed.Add(think), submit)
+		})
+	}
+	pl.Engine.After(0, submit)
+	pl.Engine.Run()
+	return out, err
+}
+
+// OpenLoopResult reports an open-loop (arrival-rate-driven) run.
+type OpenLoopResult struct {
+	// Offered is the configured arrival rate (req/s).
+	Offered float64
+	// Completed is the number of requests served within the window.
+	Completed int
+	// MeanE2EMS, P95E2EMS summarize client-observed latency, including
+	// queueing at the invoker while the container executes or restores.
+	MeanE2EMS float64
+	P95E2EMS  float64
+	// MeanQueueMS is the average time requests waited for a container.
+	MeanQueueMS float64
+}
+
+// RunOpenLoop subjects the platform to Poisson arrivals at `rate` requests
+// per second for a virtual `window`, queueing requests FIFO across the
+// containers. This driver backs the paper's load argument (§4, §2): under
+// low-to-medium load Groundhog's restoration hides entirely between
+// requests; only as utilization approaches saturation does the restore
+// begin to delay subsequent requests.
+func (pl *Platform) RunOpenLoop(rate float64, window sim.Duration) (OpenLoopResult, error) {
+	if rate <= 0 || window <= 0 {
+		return OpenLoopResult{}, fmt.Errorf("faas: bad open-loop parameters rate=%v window=%v", rate, window)
+	}
+	res := OpenLoopResult{Offered: rate}
+	var err error
+	var e2e []float64
+	var queued []float64
+
+	// FIFO queue of arrival times; containers pull from it as they free up.
+	var queue []sim.Time
+	var id uint64
+
+	dispatch := func(c *Container) {
+		if err != nil || len(queue) == 0 {
+			return
+		}
+		arrived := queue[0]
+		queue = queue[1:]
+		id++
+		st, serr := pl.serveAs(c, id, "")
+		if serr != nil {
+			err = serr
+			pl.Engine.Stop()
+			return
+		}
+		wait := pl.Engine.Now().Sub(arrived)
+		e2e = append(e2e, float64(st.E2E+wait)/1e6)
+		queued = append(queued, float64(wait)/1e6)
+		res.Completed++
+	}
+
+	// Each container loops: when ready, take the next queued request.
+	var pump func(c *Container)
+	pump = func(c *Container) {
+		if err != nil {
+			return
+		}
+		wait := sim.Duration(0)
+		if c.ready > pl.Engine.Now() {
+			wait = c.ready.Sub(pl.Engine.Now())
+		}
+		pl.Engine.After(wait, func() {
+			dispatch(c)
+			if pl.Engine.Now() < sim.Time(window) || len(queue) > 0 {
+				// Poll again shortly; arrivals wake the queue.
+				pl.Engine.After(sim.Duration(200_000), func() { pump(c) }) // 0.2ms poll
+			}
+		})
+	}
+
+	// Poisson arrival process over the window.
+	interarrival := sim.Duration(float64(1e9) / rate)
+	var arrive func()
+	arrive = func() {
+		if pl.Engine.Now() >= sim.Time(window) || err != nil {
+			return
+		}
+		queue = append(queue, pl.Engine.Now())
+		gap := sim.Duration(float64(interarrival) * expVariate(pl.rng))
+		pl.Engine.After(gap, arrive)
+	}
+
+	pl.Engine.After(0, arrive)
+	for _, c := range pl.containers {
+		c := c
+		pl.Engine.After(0, func() { pump(c) })
+	}
+	pl.Engine.Run()
+	if err != nil {
+		return OpenLoopResult{}, err
+	}
+
+	var e2eSum, qSum metrics.Summary
+	for i := range e2e {
+		e2eSum.Add(e2e[i])
+		qSum.Add(queued[i])
+	}
+	res.MeanE2EMS = e2eSum.Mean()
+	res.P95E2EMS = e2eSum.Percentile(95)
+	res.MeanQueueMS = qSum.Mean()
+	return res, nil
+}
+
+// expVariate draws a unit-mean exponential variate.
+func expVariate(r *sim.Rand) float64 {
+	u := r.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	return -math.Log(u)
+}

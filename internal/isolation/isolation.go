@@ -1,0 +1,268 @@
+// Package isolation defines the sequential request isolation strategies the
+// paper evaluates, behind one interface:
+//
+//   - Base:  no isolation — the insecure container-reuse baseline (BASE).
+//   - GH:    Groundhog snapshot/restore (the paper's contribution).
+//   - GHNop: Groundhog attached but never restoring — the trusted-caller
+//     optimization and the configuration that isolates tracking cost (GH̶NOP).
+//   - Fork:  serve each request in a freshly forked child (§5.2.3);
+//     single-threaded runtimes only.
+//   - Faasm: WebAssembly-style linear-memory remapping (§5.3.3).
+//
+// A Strategy brackets request execution: BeginRequest returns the process
+// the request must run in (and may add critical-path cost, e.g. fork);
+// EndRequest runs after the response has been returned and reports the
+// off-critical-path cleanup duration (e.g. Groundhog's restore).
+package isolation
+
+import (
+	"fmt"
+	"time"
+
+	"groundhog/internal/core"
+	"groundhog/internal/kernel"
+	"groundhog/internal/sim"
+)
+
+// Mode names a strategy, using the paper's configuration labels.
+type Mode string
+
+// The evaluated configurations.
+const (
+	ModeBase  Mode = "base"
+	ModeGH    Mode = "gh"
+	ModeGHNop Mode = "gh-nop"
+	ModeFork  Mode = "fork"
+	ModeFaasm Mode = "faasm"
+)
+
+// Modes lists all configurations in the paper's presentation order.
+var Modes = []Mode{ModeBase, ModeGHNop, ModeGH, ModeFork, ModeFaasm}
+
+// CleanupResult reports the off-critical-path work done after a request.
+type CleanupResult struct {
+	// Duration is the virtual time the container is unavailable after
+	// returning a response (restore / child teardown / reset).
+	Duration sim.Duration
+	// Restore carries Groundhog's per-phase breakdown when applicable.
+	Restore core.RestoreStats
+	// Restored reports whether state was actually rolled back.
+	Restored bool
+}
+
+// Strategy brackets request execution in a container.
+type Strategy interface {
+	Mode() Mode
+	// Init runs once after the runtime is warmed (dummy request executed).
+	// It returns the setup duration (snapshotting for GH, nothing for
+	// BASE), which extends container initialization, off any request's
+	// critical path.
+	Init() (sim.Duration, error)
+	// BeginRequest returns the process to run the request in, charging any
+	// critical-path setup (fork) to meter.
+	BeginRequest(meter *sim.Meter) (*kernel.Process, error)
+	// EndRequest cleans up after the response has been returned.
+	EndRequest() (CleanupResult, error)
+	// Interposes reports whether the strategy proxies request input and
+	// output through a manager process (§4.5).
+	Interposes() bool
+	// CanSkipCleanup reports whether the strategy may safely skip
+	// EndRequest between consecutive requests from mutually trusting
+	// callers (§4.4's optimization). Fork-based isolation cannot: its
+	// per-request child must be reaped regardless of trust.
+	CanSkipCleanup() bool
+}
+
+// New constructs the strategy for mode over the warm function process p.
+func New(mode Mode, k *kernel.Kernel, p *kernel.Process) (Strategy, error) {
+	switch mode {
+	case ModeBase:
+		return &baseStrategy{proc: p}, nil
+	case ModeGH:
+		return newGroundhog(k, p, true)
+	case ModeGHNop:
+		return newGroundhog(k, p, false)
+	case ModeFork:
+		return newForkStrategy(k, p)
+	case ModeFaasm:
+		return newFaasm(k, p)
+	default:
+		return nil, fmt.Errorf("isolation: unknown mode %q", mode)
+	}
+}
+
+// baseStrategy is the insecure baseline: plain container reuse.
+type baseStrategy struct {
+	proc *kernel.Process
+}
+
+func (s *baseStrategy) Mode() Mode                  { return ModeBase }
+func (s *baseStrategy) CanSkipCleanup() bool        { return true }
+func (s *baseStrategy) Init() (sim.Duration, error) { return 0, nil }
+func (s *baseStrategy) Interposes() bool            { return false }
+
+func (s *baseStrategy) BeginRequest(*sim.Meter) (*kernel.Process, error) {
+	return s.proc, nil
+}
+
+func (s *baseStrategy) EndRequest() (CleanupResult, error) {
+	return CleanupResult{}, nil
+}
+
+// groundhogStrategy wraps a core.Manager. With restore=false it is the
+// GH-NOP configuration: the snapshot is taken and requests are proxied, but
+// state is never rolled back — appropriate when consecutive callers mutually
+// trust each other (§4.4), and useful to separate tracking cost from
+// restoration cost (§5.1).
+type groundhogStrategy struct {
+	kern    *kernel.Kernel
+	manager *core.Manager
+	proc    *kernel.Process
+	restore bool
+}
+
+func newGroundhog(k *kernel.Kernel, p *kernel.Process, restore bool) (*groundhogStrategy, error) {
+	m, err := core.NewManager(k, p, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &groundhogStrategy{kern: k, manager: m, proc: p, restore: restore}, nil
+}
+
+func (s *groundhogStrategy) Mode() Mode {
+	if s.restore {
+		return ModeGH
+	}
+	return ModeGHNop
+}
+
+func (s *groundhogStrategy) Interposes() bool     { return true }
+func (s *groundhogStrategy) CanSkipCleanup() bool { return true }
+
+func (s *groundhogStrategy) Init() (sim.Duration, error) {
+	stats, err := s.manager.TakeSnapshot()
+	if err != nil {
+		return 0, err
+	}
+	return stats.Duration, nil
+}
+
+func (s *groundhogStrategy) Manager() *core.Manager { return s.manager }
+
+func (s *groundhogStrategy) BeginRequest(*sim.Meter) (*kernel.Process, error) {
+	if !s.manager.HasSnapshot() {
+		return nil, fmt.Errorf("isolation: groundhog request before Init")
+	}
+	return s.proc, nil
+}
+
+func (s *groundhogStrategy) EndRequest() (CleanupResult, error) {
+	if !s.restore {
+		return CleanupResult{}, nil
+	}
+	st, err := s.manager.Restore()
+	if err != nil {
+		return CleanupResult{}, err
+	}
+	return CleanupResult{Duration: st.Total, Restore: st, Restored: true}, nil
+}
+
+// forkStrategy serves each request in a child forked from the warm parent.
+// fork(2) cannot capture multi-threaded runtimes, so construction fails for
+// them — the limitation that motivates Groundhog's design (§3.2).
+type forkStrategy struct {
+	kern   *kernel.Kernel
+	parent *kernel.Process
+	child  *kernel.Process
+}
+
+func newForkStrategy(k *kernel.Kernel, p *kernel.Process) (*forkStrategy, error) {
+	if len(p.Threads) > 1 {
+		return nil, fmt.Errorf("isolation: fork cannot isolate %d-threaded process %d",
+			len(p.Threads), p.PID)
+	}
+	return &forkStrategy{kern: k, parent: p}, nil
+}
+
+func (s *forkStrategy) Mode() Mode                  { return ModeFork }
+func (s *forkStrategy) Init() (sim.Duration, error) { return 0, nil }
+func (s *forkStrategy) Interposes() bool            { return true }
+func (s *forkStrategy) CanSkipCleanup() bool        { return false }
+
+func (s *forkStrategy) BeginRequest(meter *sim.Meter) (*kernel.Process, error) {
+	if s.child != nil {
+		return nil, fmt.Errorf("isolation: overlapping fork requests")
+	}
+	child, err := s.kern.Fork(s.parent, meter) // fork cost is on the critical path
+	if err != nil {
+		return nil, err
+	}
+	s.child = child
+	return child, nil
+}
+
+func (s *forkStrategy) EndRequest() (CleanupResult, error) {
+	if s.child == nil {
+		return CleanupResult{}, fmt.Errorf("isolation: EndRequest without BeginRequest")
+	}
+	// Discarding the child is the cleanup; it is nearly free.
+	s.kern.Exit(s.child)
+	s.child = nil
+	return CleanupResult{Duration: forkTeardown, Restored: true}, nil
+}
+
+// forkTeardown is the cost of reaping the per-request child.
+const forkTeardown = 50 * time.Microsecond
+
+// faasmStrategy models FAASM's Faaslet reset: the function's linear memory
+// is remapped copy-on-write to a checkpointed state between requests. The
+// functional rollback reuses Groundhog's state store (the simulated
+// equivalent of the checkpointed heap); the cost model is FAASM's — a cheap
+// base remap plus a per-dirty-page repair, with no full pagemap scan.
+// Execution-speed differences (native vs WebAssembly) are applied by the
+// runtime layer, not here.
+type faasmStrategy struct {
+	kern    *kernel.Kernel
+	manager *core.Manager
+	proc    *kernel.Process
+}
+
+func newFaasm(k *kernel.Kernel, p *kernel.Process) (*faasmStrategy, error) {
+	m, err := core.NewManager(k, p, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &faasmStrategy{kern: k, manager: m, proc: p}, nil
+}
+
+func (s *faasmStrategy) Mode() Mode           { return ModeFaasm }
+func (s *faasmStrategy) CanSkipCleanup() bool { return true }
+func (s *faasmStrategy) Interposes() bool     { return false }
+
+func (s *faasmStrategy) Init() (sim.Duration, error) {
+	stats, err := s.manager.TakeSnapshot()
+	if err != nil {
+		return 0, err
+	}
+	return stats.Duration, nil
+}
+
+func (s *faasmStrategy) BeginRequest(*sim.Meter) (*kernel.Process, error) {
+	if !s.manager.HasSnapshot() {
+		return nil, fmt.Errorf("isolation: faasm request before Init")
+	}
+	return s.proc, nil
+}
+
+func (s *faasmStrategy) EndRequest() (CleanupResult, error) {
+	st, err := s.manager.Restore()
+	if err != nil {
+		return CleanupResult{}, err
+	}
+	// Replace Groundhog's metered cost with the Faaslet reset model: the
+	// functional rollback is identical, the price is not.
+	cost := s.kern.Cost.FaasmResetBase +
+		s.kern.Cost.FaasmResetPerPage*sim.Duration(st.RestoredPages)
+	st.Total = cost
+	return CleanupResult{Duration: cost, Restore: st, Restored: true}, nil
+}

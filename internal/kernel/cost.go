@@ -1,0 +1,135 @@
+package kernel
+
+import (
+	"time"
+
+	"groundhog/internal/sim"
+	"groundhog/internal/vm"
+)
+
+// CostModel is the complete virtual-time price list for the simulation. It
+// substitutes for the paper's physical testbed (Intel Xeon E5-2667 v2); see
+// DESIGN.md §5. The calibration targets the orders of magnitude the paper
+// reports — e.g. restores between ~0.6 ms (tiny C functions) and ~160 ms
+// (Node.js with a 208 K-page address space), soft-dirty arming faults far
+// cheaper than CoW copy faults — so that the figures' *shapes* (orderings,
+// slopes, crossovers) reproduce.
+type CostModel struct {
+	// VM holds per-access and per-fault costs (see vm.Costs).
+	VM vm.Costs
+
+	// ptrace orchestration costs (§4.2, §4.4; the interrupt/regs/detach
+	// rows of Fig. 8). Per-thread costs dominate for Node.js runtimes,
+	// which start ~10 threads.
+	PtraceAttachPerThread    sim.Duration // seizing each thread
+	PtraceInterruptPerThread sim.Duration // stopping each thread
+	PtraceGetRegsPerThread   sim.Duration
+	PtraceSetRegsPerThread   sim.Duration
+	PtraceSyscallInject      sim.Duration // one injected syscall, excluding its own work
+	PtraceDetachPerThread    sim.Duration
+	PtracePeekPerPage        sim.Duration // reading a page of tracee memory
+	PtracePokePerPage        sim.Duration // writing a page of tracee memory
+
+	// procfs costs ("reading maps", "scanning page metadata", "clearing
+	// soft-dirty bits" in Fig. 8).
+	ReadMapsBase     sim.Duration // opening and parsing /proc/pid/maps
+	ReadMapsPerVMA   sim.Duration
+	PagemapPerPage   sim.Duration // scanning pagemap soft-dirty bits
+	ClearRefsPerPage sim.Duration // write to /proc/pid/clear_refs, per PTE
+
+	// Layout diffing (pure manager-side computation).
+	DiffPerVMA sim.Duration
+
+	// Memory restoration copying. A run of contiguous dirty pages is
+	// restored with one large copy: the first page of a run costs
+	// PageCopy; subsequent pages in the same run cost PageCopyTail. This
+	// produces the slope change near 60% dirtying in Fig. 3 (left), where
+	// random dirty sets become dense enough to form long runs.
+	PageCopy     sim.Duration
+	PageCopyTail sim.Duration
+
+	// Snapshotting (one-time, §5.5). SnapshotCoWPerPage is the far cheaper
+	// per-page cost of the copy-on-write state store (reference + PTE
+	// write-protect instead of a page copy).
+	SnapshotBase       sim.Duration
+	SnapshotPerPage    sim.Duration
+	SnapshotCoWPerPage sim.Duration
+
+	// Process lifecycle.
+	ForkBase     sim.Duration
+	ForkPerPage  sim.Duration // page-table duplication per resident page
+	SpawnProcess sim.Duration // fork+exec of the runtime (cold start component)
+
+	// Pipe copy cost for proxied request/response bytes (§4.5: the
+	// interposition overhead on large inputs).
+	PipePerKB sim.Duration
+	// ProxyPerRequest is the fixed cost of Groundhog's manager relaying one
+	// request and its response between the platform and the function.
+	ProxyPerRequest sim.Duration
+
+	// FAASM-style reset (§5.3.3): remapping the WebAssembly linear memory
+	// to its checkpointed state. The base remap is cheap; dirty pages cost
+	// a copy-on-write repair each.
+	FaasmResetBase    sim.Duration
+	FaasmResetPerPage sim.Duration
+
+	// FaaS platform constants (§5.3: E2E latency includes platform
+	// delays that dwarf small per-request overheads).
+	PlatformOverhead sim.Duration // controller+load balancer+invoker path
+	// Container cold-start phases (Fig. 1).
+	EnvInstantiation sim.Duration
+	RuntimeInitBase  sim.Duration
+}
+
+// Default returns the calibrated cost model used by all experiments.
+func Default() CostModel {
+	return CostModel{
+		VM: vm.Costs{
+			ReadWord:       45 * time.Nanosecond,
+			WriteWord:      120 * time.Nanosecond,
+			MinorFault:     900 * time.Nanosecond,
+			SoftDirtyFault: 350 * time.Nanosecond,
+			UffdFault:      2600 * time.Nanosecond,
+			CoWFault:       1800 * time.Nanosecond,
+			FirstTouch:     250 * time.Nanosecond,
+			Syscall:        1500 * time.Nanosecond,
+			PerPageOp:      12 * time.Nanosecond,
+		},
+		PtraceAttachPerThread:    22 * time.Microsecond,
+		PtraceInterruptPerThread: 55 * time.Microsecond,
+		PtraceGetRegsPerThread:   3 * time.Microsecond,
+		PtraceSetRegsPerThread:   3 * time.Microsecond,
+		PtraceSyscallInject:      15 * time.Microsecond,
+		PtraceDetachPerThread:    14 * time.Microsecond,
+		PtracePeekPerPage:        600 * time.Nanosecond,
+		PtracePokePerPage:        700 * time.Nanosecond,
+
+		ReadMapsBase:     90 * time.Microsecond,
+		ReadMapsPerVMA:   900 * time.Nanosecond,
+		PagemapPerPage:   60 * time.Nanosecond,
+		ClearRefsPerPage: 30 * time.Nanosecond,
+
+		DiffPerVMA: 500 * time.Nanosecond,
+
+		PageCopy:     4200 * time.Nanosecond,
+		PageCopyTail: 2100 * time.Nanosecond,
+
+		SnapshotBase:       900 * time.Microsecond,
+		SnapshotPerPage:    1400 * time.Nanosecond,
+		SnapshotCoWPerPage: 180 * time.Nanosecond,
+
+		ForkBase:     65 * time.Microsecond,
+		ForkPerPage:  450 * time.Nanosecond,
+		SpawnProcess: 2 * time.Millisecond,
+
+		PipePerKB:       1200 * time.Nanosecond,
+		ProxyPerRequest: 110 * time.Microsecond,
+
+		FaasmResetBase:    550 * time.Microsecond,
+		FaasmResetPerPage: 500 * time.Nanosecond,
+
+		PlatformOverhead: 24 * time.Millisecond,
+		EnvInstantiation: 350 * time.Millisecond,
+		RuntimeInitBase:  80 * time.Millisecond,
+	}
+}

@@ -1,0 +1,64 @@
+package kernel
+
+import (
+	"fmt"
+
+	"groundhog/internal/sim"
+)
+
+// Message is a unit of data carried over a Pipe. Payload is opaque to the
+// kernel; Size (bytes) drives copy costs. In the paper's OpenWhisk
+// integration these are the newline-delimited JSON requests and responses
+// flowing over the actionloop stdin/stdout pipes (§4.1, §5.1).
+type Message struct {
+	Payload interface{}
+	Size    int
+}
+
+// Pipe is a unidirectional, unbounded message queue between two simulated
+// processes. Each end charges the per-KB copy cost to its own meter, which
+// is how Groundhog's input/output interposition overhead (§4.5) becomes
+// visible in request latency.
+type Pipe struct {
+	name  string
+	queue []Message
+	cost  sim.Duration // per KB
+}
+
+// NewPipe returns an empty pipe. perKB is the copy cost per kilobyte
+// transferred, charged on both send and receive.
+func NewPipe(name string, perKB sim.Duration) *Pipe {
+	return &Pipe{name: name, cost: perKB}
+}
+
+// Send enqueues a message, charging the copy cost to meter (nil-safe).
+func (p *Pipe) Send(m Message, meter *sim.Meter) {
+	sim.ChargeTo(meter, p.copyCost(m.Size))
+	p.queue = append(p.queue, m)
+}
+
+// Recv dequeues the oldest message, charging the copy cost to meter. It
+// fails if the pipe is empty; the cooperative simulation never blocks.
+func (p *Pipe) Recv(meter *sim.Meter) (Message, error) {
+	if len(p.queue) == 0 {
+		return Message{}, fmt.Errorf("kernel: recv on empty pipe %s", p.name)
+	}
+	m := p.queue[0]
+	copy(p.queue, p.queue[1:])
+	p.queue[len(p.queue)-1] = Message{}
+	p.queue = p.queue[:len(p.queue)-1]
+	sim.ChargeTo(meter, p.copyCost(m.Size))
+	return m, nil
+}
+
+// Len reports the number of queued messages.
+func (p *Pipe) Len() int { return len(p.queue) }
+
+func (p *Pipe) copyCost(size int) sim.Duration {
+	if size <= 0 {
+		return 0
+	}
+	// Round up to whole KB so tiny messages still pay one unit.
+	kb := (size + 1023) / 1024
+	return p.cost * sim.Duration(kb)
+}

@@ -1,0 +1,276 @@
+// Package mem implements the simulated physical memory substrate: 4 KiB
+// frames with reference counting, copy-on-write sharing, and a zero-page
+// optimization.
+//
+// Frames hold real bytes. The Groundhog reproduction relies on this for its
+// security argument: snapshot/restore correctness is verified by comparing
+// page contents byte-for-byte, so an information leak across requests would
+// be observable in tests rather than merely asserted away.
+package mem
+
+import "fmt"
+
+const (
+	// PageSize is the size of a physical frame and of a virtual page.
+	PageSize = 4096
+	// PageShift is log2(PageSize).
+	PageShift = 12
+	// WordSize is the machine word size used by Read/WriteWord.
+	WordSize = 8
+)
+
+// FrameID names a physical frame. The zero FrameID is invalid, which lets
+// page-table entries use it as "no frame".
+type FrameID uint64
+
+// NoFrame is the invalid frame ID.
+const NoFrame FrameID = 0
+
+type frame struct {
+	refs int
+	// data is nil while the frame is all-zero; it is materialized on the
+	// first non-zero write. This keeps simulating multi-gigabyte address
+	// spaces cheap, mirroring how real kernels share the zero page.
+	data []byte
+}
+
+// PhysMem is a pool of reference-counted frames. The zero value is not
+// usable; call New.
+//
+// PhysMem is not safe for concurrent use. The simulation is single-threaded
+// by design (see internal/sim).
+type PhysMem struct {
+	frames map[FrameID]*frame
+	next   FrameID
+	// stats
+	inUse int
+	peak  int
+}
+
+// New returns an empty physical memory pool.
+func New() *PhysMem {
+	return &PhysMem{frames: make(map[FrameID]*frame), next: 1}
+}
+
+// Alloc returns a fresh zero-filled frame with reference count 1.
+func (p *PhysMem) Alloc() FrameID {
+	id := p.next
+	p.next++
+	p.frames[id] = &frame{refs: 1}
+	p.inUse++
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+	return id
+}
+
+// get panics on invalid IDs: frame lifetime bugs are kernel bugs, and we
+// want them loud.
+func (p *PhysMem) get(id FrameID) *frame {
+	f, ok := p.frames[id]
+	if !ok {
+		panic(fmt.Sprintf("mem: use of invalid frame %d", id))
+	}
+	return f
+}
+
+// Ref increments the reference count (copy-on-write sharing).
+func (p *PhysMem) Ref(id FrameID) {
+	p.get(id).refs++
+}
+
+// Unref decrements the reference count and frees the frame when it reaches
+// zero.
+func (p *PhysMem) Unref(id FrameID) {
+	f := p.get(id)
+	f.refs--
+	if f.refs < 0 {
+		panic(fmt.Sprintf("mem: negative refcount on frame %d", id))
+	}
+	if f.refs == 0 {
+		delete(p.frames, id)
+		p.inUse--
+	}
+}
+
+// Refs reports the reference count of a frame.
+func (p *PhysMem) Refs(id FrameID) int { return p.get(id).refs }
+
+// Clone allocates a new frame containing a copy of src's bytes, with
+// reference count 1. It is the copy half of copy-on-write.
+func (p *PhysMem) Clone(src FrameID) FrameID {
+	s := p.get(src)
+	dst := p.Alloc()
+	if s.data != nil {
+		d := p.get(dst)
+		d.data = make([]byte, PageSize)
+		copy(d.data, s.data)
+	}
+	return dst
+}
+
+func (f *frame) materialize() []byte {
+	if f.data == nil {
+		f.data = make([]byte, PageSize)
+	}
+	return f.data
+}
+
+// checkOffset validates an intra-frame offset for an access of size n.
+func checkOffset(off, n int) {
+	if off < 0 || n < 0 || off+n > PageSize {
+		panic(fmt.Sprintf("mem: access [%d,%d) outside frame", off, off+n))
+	}
+}
+
+// ReadWord returns the 8-byte little-endian word at byte offset off.
+func (p *PhysMem) ReadWord(id FrameID, off int) uint64 {
+	checkOffset(off, WordSize)
+	f := p.get(id)
+	if f.data == nil {
+		return 0
+	}
+	var v uint64
+	for i := WordSize - 1; i >= 0; i-- {
+		v = v<<8 | uint64(f.data[off+i])
+	}
+	return v
+}
+
+// WriteWord stores the 8-byte little-endian word v at byte offset off. The
+// caller must hold the only reference if copy-on-write semantics matter;
+// PhysMem does not enforce CoW (the page-table layer does).
+func (p *PhysMem) WriteWord(id FrameID, off int, v uint64) {
+	checkOffset(off, WordSize)
+	f := p.get(id)
+	if v == 0 && f.data == nil {
+		return // writing zero to a zero frame: stay lazily zero
+	}
+	d := f.materialize()
+	for i := 0; i < WordSize; i++ {
+		d[off+i] = byte(v >> (8 * i))
+	}
+}
+
+// ReadAt copies frame bytes [off, off+len(buf)) into buf.
+func (p *PhysMem) ReadAt(id FrameID, off int, buf []byte) {
+	checkOffset(off, len(buf))
+	f := p.get(id)
+	if f.data == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return
+	}
+	copy(buf, f.data[off:])
+}
+
+// WriteAt copies buf into frame bytes [off, off+len(buf)).
+func (p *PhysMem) WriteAt(id FrameID, off int, buf []byte) {
+	checkOffset(off, len(buf))
+	allZero := true
+	for _, b := range buf {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	f := p.get(id)
+	if allZero && f.data == nil {
+		return
+	}
+	copy(f.materialize()[off:], buf)
+}
+
+// Zero resets the frame to all-zero bytes.
+func (p *PhysMem) Zero(id FrameID) {
+	p.get(id).data = nil
+}
+
+// IsZero reports whether every byte of the frame is zero.
+func (p *PhysMem) IsZero(id FrameID) bool {
+	f := p.get(id)
+	if f.data == nil {
+		return true
+	}
+	for _, b := range f.data {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two frames hold identical bytes.
+func (p *PhysMem) Equal(a, b FrameID) bool {
+	fa, fb := p.get(a), p.get(b)
+	if fa.data == nil && fb.data == nil {
+		return true
+	}
+	for i := 0; i < PageSize; i++ {
+		var ba, bb byte
+		if fa.data != nil {
+			ba = fa.data[i]
+		}
+		if fb.data != nil {
+			bb = fb.data[i]
+		}
+		if ba != bb {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns an independent copy of the frame's contents. A nil return
+// means the frame is all-zero; RestoreInto treats nil accordingly.
+func (p *PhysMem) Snapshot(id FrameID) []byte {
+	f := p.get(id)
+	if f.data == nil {
+		return nil
+	}
+	out := make([]byte, PageSize)
+	copy(out, f.data)
+	return out
+}
+
+// RestoreInto overwrites the frame's contents with a snapshot previously
+// returned by Snapshot (nil means all-zero).
+func (p *PhysMem) RestoreInto(id FrameID, snap []byte) {
+	f := p.get(id)
+	if snap == nil {
+		f.data = nil
+		return
+	}
+	copy(f.materialize(), snap)
+}
+
+// Copy overwrites dst's contents with src's.
+func (p *PhysMem) Copy(dst, src FrameID) {
+	s := p.get(src)
+	d := p.get(dst)
+	if s.data == nil {
+		d.data = nil
+		return
+	}
+	if d.data == nil {
+		d.data = make([]byte, PageSize)
+	}
+	copy(d.data, s.data)
+}
+
+// Bytes reports the materialized size of a frame: 0 while it is lazily
+// all-zero, PageSize once real contents exist. The copy-on-write state
+// store uses this for its memory accounting.
+func (p *PhysMem) Bytes(id FrameID) int {
+	if p.get(id).data == nil {
+		return 0
+	}
+	return PageSize
+}
+
+// InUse reports the number of live frames.
+func (p *PhysMem) InUse() int { return p.inUse }
+
+// Peak reports the high-water mark of live frames.
+func (p *PhysMem) Peak() int { return p.peak }

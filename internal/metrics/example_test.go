@@ -1,0 +1,31 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"groundhog/internal/metrics"
+)
+
+// ExampleSummary shows the statistics the experiment harness reports.
+func ExampleSummary() {
+	var s metrics.Summary
+	for _, v := range []float64{1, 2, 3, 4, 100} {
+		s.Add(v)
+	}
+	fmt.Printf("median %.1f, p95 %.1f, mean %.1f\n", s.Median(), s.Percentile(95), s.Mean())
+	// Output: median 3.0, p95 80.8, mean 22.0
+}
+
+// ExampleTable renders an aligned experiment table.
+func ExampleTable() {
+	t := metrics.NewTable("demo", "benchmark", "ratio")
+	t.AddRow("chaos (p)", "1.00")
+	t.AddRow("img-resize (n)", "1.62")
+	fmt.Print(t.Render())
+	// Output:
+	// # demo
+	// benchmark       ratio
+	// --------------  -----
+	// chaos (p)       1.00
+	// img-resize (n)  1.62
+}

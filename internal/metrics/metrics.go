@@ -1,0 +1,209 @@
+// Package metrics provides the small statistics and table-rendering toolkit
+// the experiment harness uses to report the paper's figures and tables:
+// means, standard deviations, percentiles, relative overheads, and aligned
+// text tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary accumulates float64 samples and answers the usual statistics.
+// The zero value is ready to use.
+type Summary struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends one sample.
+func (s *Summary) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sorted = false
+}
+
+// AddDuration appends a duration sample in milliseconds.
+func (s *Summary) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the number of samples.
+func (s *Summary) N() int { return len(s.samples) }
+
+// Mean returns the arithmetic mean (0 for no samples).
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum / float64(len(s.samples))
+}
+
+// Std returns the population standard deviation.
+func (s *Summary) Std() float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.samples {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// CoV returns the coefficient of variation in percent.
+func (s *Summary) CoV() float64 {
+	if m := s.Mean(); m != 0 {
+		return 100 * s.Std() / m
+	}
+	return 0
+}
+
+func (s *Summary) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by linear
+// interpolation between closest ranks.
+func (s *Summary) Percentile(p float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.samples[0]
+	}
+	if p >= 100 {
+		return s.samples[len(s.samples)-1]
+	}
+	rank := p / 100 * float64(len(s.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return s.samples[lo]*(1-frac) + s.samples[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Summary) Median() float64 { return s.Percentile(50) }
+
+// Min returns the smallest sample.
+func (s *Summary) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[0]
+}
+
+// Max returns the largest sample.
+func (s *Summary) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[len(s.samples)-1]
+}
+
+// RelOverheadPct returns (x-base)/base in percent — the paper's relative
+// overhead convention (positive is worse than baseline).
+func RelOverheadPct(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (x - base) / base
+}
+
+// Ratio returns x/base (the paper's relative-throughput convention).
+func Ratio(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return x / base
+}
+
+// Table renders aligned text tables for the CLI and the experiment logs.
+type Table struct {
+	header []string
+	rows   [][]string
+	title  string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, cells ...interface{}) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, cells...), "\t")...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render returns the aligned table as a string.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == len(cells)-1 {
+				b.WriteString(c) // no trailing padding
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}

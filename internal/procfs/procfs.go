@@ -1,0 +1,135 @@
+// Package procfs exposes the simulated kernel's per-process state the way
+// Linux's /proc filesystem does: the maps file (memory regions), the pagemap
+// file (per-page present and soft-dirty bits), and the clear_refs control
+// file. Groundhog's manager consumes exactly these three interfaces (§4.2,
+// §4.3 of the paper).
+//
+// Maps is rendered to (and parsed from) real text in the /proc/pid/maps
+// format: the snapshotter works from the parsed text, not from privileged
+// pointers into the kernel, mirroring the userspace boundary the real system
+// has to respect.
+package procfs
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+
+	"groundhog/internal/kernel"
+	"groundhog/internal/sim"
+	"groundhog/internal/vm"
+)
+
+// FS reads per-process files from a simulated kernel.
+type FS struct {
+	kern *kernel.Kernel
+}
+
+// New returns a /proc view over k.
+func New(k *kernel.Kernel) *FS { return &FS{kern: k} }
+
+// Maps renders /proc/pid/maps for p, charging the read cost to meter.
+func (fs *FS) Maps(p *kernel.Process, meter *sim.Meter) string {
+	vmas := p.AS.VMAs()
+	sim.ChargeTo(meter, fs.kern.Cost.ReadMapsBase)
+	sim.ChargeTo(meter, fs.kern.Cost.ReadMapsPerVMA*sim.Duration(len(vmas)))
+	var b strings.Builder
+	for _, v := range vmas {
+		name := v.Name
+		if name == "" {
+			name = "[" + v.Kind.String() + "]"
+		}
+		fmt.Fprintf(&b, "%012x-%012x %s 00000000 00:00 0 %s\n",
+			uint64(v.Start), uint64(v.End), v.Prot, name)
+	}
+	return b.String()
+}
+
+// ParseMaps parses text in the format produced by Maps back into regions.
+func ParseMaps(text string) ([]vm.VMA, error) {
+	var out []vm.VMA
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 6 {
+			return nil, fmt.Errorf("procfs: short maps line %q", line)
+		}
+		var start, end uint64
+		if _, err := fmt.Sscanf(fields[0], "%x-%x", &start, &end); err != nil {
+			return nil, fmt.Errorf("procfs: bad range in %q: %v", line, err)
+		}
+		prot, err := vm.ParseProt(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		name := strings.Join(fields[5:], " ")
+		v := vm.VMA{Start: vm.Addr(start), End: vm.Addr(end), Prot: prot}
+		if strings.HasPrefix(name, "[") && strings.HasSuffix(name, "]") {
+			kind, err := vm.ParseKind(name[1 : len(name)-1])
+			if err != nil {
+				return nil, err
+			}
+			v.Kind = kind
+		} else {
+			v.Kind = vm.KindFile
+			v.Name = name
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}
+
+// PageFlags is one pagemap entry: the per-page bits Groundhog consumes.
+type PageFlags struct {
+	VPN       uint64
+	Present   bool
+	SoftDirty bool
+}
+
+// Pagemap scans the pagemap entries for every page mapped by p's VMAs, in
+// address order, charging the per-page scan cost. This models reading
+// /proc/pid/pagemap across the whole address space — the reason restore cost
+// grows with address-space size even at a fixed write-set size (Fig. 3
+// right, §5.2.2).
+func (fs *FS) Pagemap(p *kernel.Process, meter *sim.Meter) []PageFlags {
+	var out []PageFlags
+	scanned := 0
+	for _, v := range p.AS.VMAs() {
+		for vpn := v.Start.PageNum(); vpn < v.End.PageNum(); vpn++ {
+			scanned++
+			pf := PageFlags{VPN: vpn}
+			if pte, ok := p.AS.PTEAt(vpn); ok {
+				pf.Present = true
+				pf.SoftDirty = pte.SoftDirty
+			}
+			out = append(out, pf)
+		}
+	}
+	sim.ChargeTo(meter, fs.kern.Cost.PagemapPerPage*sim.Duration(scanned))
+	return out
+}
+
+// SoftDirtyVPNs scans the pagemap and returns only the present, soft-dirty
+// page numbers (sorted). The full scan cost is still charged: identifying
+// the dirty set requires reading every entry.
+func (fs *FS) SoftDirtyVPNs(p *kernel.Process, meter *sim.Meter) []uint64 {
+	var dirty []uint64
+	for _, pf := range fs.Pagemap(p, meter) {
+		if pf.Present && pf.SoftDirty {
+			dirty = append(dirty, pf.VPN)
+		}
+	}
+	return dirty
+}
+
+// ClearRefs models writing "4" to /proc/pid/clear_refs: every resident
+// page's soft-dirty bit is cleared and the page write-protected so the next
+// write re-records it. The cost is proportional to the resident set.
+func (fs *FS) ClearRefs(p *kernel.Process, meter *sim.Meter) {
+	walked := p.AS.ClearSoftDirty()
+	sim.ChargeTo(meter, fs.kern.Cost.ClearRefsPerPage*sim.Duration(walked))
+}

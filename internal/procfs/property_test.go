@@ -1,0 +1,79 @@
+package procfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"groundhog/internal/kernel"
+	"groundhog/internal/mem"
+	"groundhog/internal/vm"
+)
+
+// Property: for any layout built from random operations, rendering
+// /proc/pid/maps and parsing it back yields the exact region list — the
+// round trip Groundhog's snapshotter depends on.
+func TestMapsRoundTripProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		A    uint16
+	}
+	f := func(ops []op) bool {
+		k := kernel.New(kernel.Default())
+		p, err := k.Spawn(kernel.ExecSpec{TextPages: 4, DataPages: 2, Threads: 1})
+		if err != nil {
+			return false
+		}
+		fs := New(k)
+		var mapped []vm.Addr
+		for i, o := range ops {
+			switch o.Kind % 4 {
+			case 0:
+				prot := vm.ProtRW
+				if o.A%3 == 0 {
+					prot = vm.ProtRead
+				}
+				name := ""
+				if o.A%2 == 0 {
+					name = "/lib/x" + string(rune('a'+i%26)) + ".so"
+				}
+				kind := vm.KindAnon
+				if name != "" {
+					kind = vm.KindFile
+				}
+				if a, err := p.AS.Mmap((int(o.A%5)+1)*mem.PageSize, prot, kind, name); err == nil {
+					mapped = append(mapped, a)
+				}
+			case 1:
+				if len(mapped) > 0 {
+					_ = p.AS.Munmap(mapped[int(o.A)%len(mapped)], mem.PageSize)
+				}
+			case 2:
+				if len(mapped) > 0 {
+					_ = p.AS.Mprotect(mapped[int(o.A)%len(mapped)], mem.PageSize, vm.ProtRead)
+				}
+			case 3:
+				_, _ = p.AS.Brk(p.AS.HeapBase() + vm.Addr(int(o.A%16)*mem.PageSize))
+			}
+		}
+		text := fs.Maps(p, nil)
+		parsed, err := ParseMaps(text)
+		if err != nil {
+			t.Logf("parse error: %v\n%s", err, text)
+			return false
+		}
+		want := p.AS.VMAs()
+		if len(parsed) != len(want) {
+			return false
+		}
+		for i := range want {
+			if parsed[i] != want[i] {
+				t.Logf("region %d: %+v != %+v", i, parsed[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,402 @@
+package runtimes
+
+import (
+	"fmt"
+	"sort"
+
+	"groundhog/internal/kernel"
+	"groundhog/internal/mem"
+	"groundhog/internal/sim"
+	"groundhog/internal/vm"
+)
+
+// Instance is one warm function process executing one benchmark profile
+// inside one container. It owns the per-container mutable state the
+// evaluation depends on: the regions recycled by layout churn, the leak
+// accumulator, and whether the process was restored since the last request.
+type Instance struct {
+	Prof Profile
+	Proc *kernel.Process
+
+	kern *kernel.Kernel
+	rng  *sim.Rand
+
+	heapStart vm.Addr
+	heapPages int
+	arenas    []vm.VMA // large warm regions where reads/writes land
+
+	churn []vm.Addr // regions mapped by the previous request
+
+	// dirtySet is the stable per-request write set under UniformDirty
+	// profiles, chosen once at instance creation.
+	dirtySet []uint64
+
+	leakedRequests int // requests since last rollback (drives LeakSlowdown)
+	justRestored   bool
+	warm           bool
+
+	// Wasm selects FAASM execution: compute scaled by the language's
+	// WasmFactor.
+	Wasm bool
+}
+
+// NewInstance spawns a process for the profile and lays out its warm memory
+// image: runtime text, data, a brk heap, and named library/arena regions
+// summing to Prof.TotalPages, all resident.
+func NewInstance(k *kernel.Kernel, prof Profile, seed uint64) (*Instance, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	text := prof.Lang.TextPages()
+	// Budget: text + data + stack + heap + arenas == TotalPages.
+	remaining := prof.TotalPages - text - dataPages - stackPages
+	if remaining < 16 {
+		// Tiny profiles (the 0.98 K-page PolyBench functions): shrink text.
+		text = prof.TotalPages / 4
+		remaining = prof.TotalPages - text - dataPages - stackPages
+		if remaining < 16 {
+			return nil, fmt.Errorf("runtimes: %s: cannot lay out %d pages", prof.Name, prof.TotalPages)
+		}
+	}
+	heapPages := remaining * 2 / 5
+	// The transient drop window lives at the bottom of the heap; make sure
+	// it fits (heat-3d's buffer is most of its footprint).
+	if min := prof.DropPages + 16; heapPages < min {
+		heapPages = min
+	}
+	if heapPages > remaining {
+		return nil, fmt.Errorf("runtimes: %s: drop window (%d pages) exceeds heap budget", prof.Name, prof.DropPages)
+	}
+	arenaPages := remaining - heapPages
+
+	p, err := k.Spawn(kernel.ExecSpec{
+		TextPages:  text,
+		DataPages:  dataPages,
+		StackBytes: stackPages * mem.PageSize,
+		Threads:    prof.Lang.Threads(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	in := &Instance{
+		Prof: prof,
+		Proc: p,
+		kern: k,
+		rng:  sim.NewRand(seed ^ hashName(prof.Name)),
+	}
+	as := p.AS
+
+	in.heapStart = as.HeapBase()
+	in.heapPages = heapPages
+	if _, err := as.Brk(in.heapStart + vm.Addr(heapPages*mem.PageSize)); err != nil {
+		return nil, err
+	}
+
+	// Library / runtime arena regions, in a few named chunks so layout
+	// diffs look like real maps files.
+	chunk := arenaPages / 4
+	for i := 0; i < 4; i++ {
+		n := chunk
+		if i == 3 {
+			n = arenaPages - 3*chunk
+		}
+		if n <= 0 {
+			continue
+		}
+		name := fmt.Sprintf("/opt/runtime/%s/arena%d", prof.Lang, i)
+		a, err := as.Mmap(n*mem.PageSize, vm.ProtRW, vm.KindFile, name)
+		if err != nil {
+			return nil, err
+		}
+		v, _ := as.FindVMA(a)
+		in.arenas = append(in.arenas, v)
+	}
+	return in, nil
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// WarmUp performs the runtime/data initialization and the dummy request
+// (§4.1): it faults in the whole warm image so lazy loading is captured by
+// the snapshot taken afterwards. The duration charged to meter is the
+// "Runtime Initialization" + "Data Initialization" span of Fig. 1.
+func (in *Instance) WarmUp(meter *sim.Meter) {
+	if in.warm {
+		return
+	}
+	as := in.Proc.AS
+	saved := as.Meter()
+	as.SetMeter(meter)
+	defer as.SetMeter(saved)
+
+	sim.ChargeTo(meter, in.Prof.Lang.InitDuration())
+
+	// Touch every page of every segment: lazy class loading, module
+	// imports, model downloads — whatever the runtime does, it is resident
+	// before the snapshot.
+	for _, v := range as.VMAs() {
+		if v.Prot&vm.ProtRead == 0 {
+			continue
+		}
+		for vpn := v.Start.PageNum(); vpn < v.End.PageNum(); vpn++ {
+			as.TouchPage(vpn)
+		}
+	}
+	// The dummy request triggers application-level initialization too.
+	in.warm = true
+	in.Invoke(Request{ID: 0, Caller: "warmup"}, meter)
+	// Whatever the dummy request churned or leaked is part of the
+	// snapshot-to-be; reset the per-request state.
+	in.leakedRequests = 0
+	in.justRestored = false
+}
+
+// NotifyRestored tells the instance its process state was rolled back to
+// the snapshot: leaked state is gone and time-dependent runtime machinery
+// (GC clocks, lazily rebuilt caches) will re-warm during the next request.
+func (in *Instance) NotifyRestored() {
+	in.leakedRequests = 0
+	in.churn = nil // the churn regions were unmapped by the rollback
+	in.justRestored = true
+}
+
+// NotifyRestoredVirtualized is NotifyRestored under time virtualization
+// (§5.3.1's proposed fix): restoration also resets the process's notion of
+// time to the snapshot's, so time-driven machinery such as V8's garbage
+// collector does not observe a jump and the post-restore re-warm penalty
+// disappears.
+func (in *Instance) NotifyRestoredVirtualized() {
+	in.leakedRequests = 0
+	in.churn = nil
+	in.justRestored = false
+}
+
+// Invoke executes one request in the instance's own process.
+func (in *Instance) Invoke(req Request, meter *sim.Meter) Response {
+	return in.InvokeOn(in.Proc, req, meter)
+}
+
+// InvokeOn executes one request against proc — normally the instance's own
+// process, but fork-based isolation passes an ephemeral child cloned from
+// it. All critical-path compute and fault costs are charged to meter.
+//
+// The request body: reads its working set, writes its dirty set, performs
+// the runtime's layout churn, releases DropPages, grows any leak, scribbles
+// on the stack, and taints the thread registers — everything a real request
+// does that restoration must undo.
+func (in *Instance) InvokeOn(proc *kernel.Process, req Request, meter *sim.Meter) Response {
+	prof := in.Prof
+	ephemeral := proc != in.Proc
+	as := proc.AS
+	saved := as.Meter()
+	as.SetMeter(meter)
+	defer as.SetMeter(saved)
+
+	// Compute time: base, wasm factor, leak slowdown, post-restore
+	// re-warm penalty.
+	exec := float64(prof.Exec)
+	if in.Wasm {
+		f := prof.Lang.WasmFactor()
+		if f == 0 {
+			panic(fmt.Sprintf("runtimes: %s: language %v unsupported under wasm", prof.Name, prof.Lang))
+		}
+		exec *= f
+	}
+	if prof.LeakSlowdown > 0 {
+		exec *= 1 + prof.LeakSlowdown*float64(in.leakedRequests)
+	}
+	d := in.rng.Jitter(sim.Duration(exec), 0.012)
+	if in.justRestored {
+		d += prof.GHPenalty
+		in.justRestored = false
+	}
+	sim.ChargeTo(meter, d)
+
+	// Transient buffer (the DropPages window): the runtime's allocator
+	// returned the previous request's large buffer to the kernel, so this
+	// request frees the window and repopulates it with fresh demand-zero
+	// pages. The writes take minor faults under every configuration (the
+	// pages are freshly mapped, so no soft-dirty arming fault), yet leave
+	// the pages dirty — which is how Table 3 rows like heat-3d(c) and
+	// primes(n) restore far more pages than they soft-dirty fault on.
+	if prof.DropPages > 0 {
+		_ = as.Madvise(in.heapStart, prof.DropPages*mem.PageSize)
+		for i := 0; i < prof.DropPages; i++ {
+			as.DirtyPage(in.heapStart.PageNum()+uint64(i), 0)
+		}
+	}
+
+	// Read working set: touches spread across heap and arenas.
+	reads := prof.ReadPages()
+	for i := 0; i < reads; i++ {
+		as.TouchPage(in.pickPage(uint64(i) * 2654435761))
+	}
+
+	// Write set. The positions are stable across requests — functions
+	// rewrite the same buffers — so that without restoration (BASE,
+	// GH-NOP) arming faults do not recur. Under UniformDirty the set is a
+	// uniform page subset (precomputed); otherwise small clusters of
+	// adjacent pages at pseudo-random positions.
+	if prof.UniformDirty {
+		for _, vpn := range in.uniformDirtySet() {
+			as.DirtyPage(vpn, req.Secret)
+		}
+	} else {
+		runLen := prof.WriteRunLen
+		if runLen <= 0 {
+			runLen = 2
+		}
+		written := 0
+		for written < prof.DirtyPages {
+			run := runLen
+			if rem := prof.DirtyPages - written; rem < run {
+				run = rem
+			}
+			base := in.pickRun(uint64(written)*0x9E3779B9, run)
+			for j := 0; j < run; j++ {
+				as.DirtyPage(base+uint64(j), req.Secret)
+				written++
+			}
+		}
+	}
+
+	// Layout churn: unmap the previous request's scratch regions, map
+	// fresh ones. In an ephemeral (forked) process the churn list is not
+	// persisted: each child starts from the same parent image, so the
+	// inherited scratch regions are the ones to recycle every time.
+	for _, a := range in.churn {
+		_ = as.Munmap(a, churnRegionPages*mem.PageSize)
+	}
+	var churn []vm.Addr
+	for i := 0; i < prof.Lang.LayoutChurnOps(); i++ {
+		name := fmt.Sprintf("churn:%d:%d", req.ID, i)
+		if a, err := as.Mmap(churnRegionPages*mem.PageSize, vm.ProtRW, vm.KindFile, name); err == nil {
+			as.DirtyPage(a.PageNum(), req.ID)
+			churn = append(churn, a)
+		}
+	}
+	if !ephemeral {
+		in.churn = churn
+	}
+
+	// Leak (the logging(p) bug): pages mapped and never freed.
+	if prof.LeakPages > 0 {
+		name := fmt.Sprintf("leak:%d", req.ID)
+		if a, err := as.Mmap(prof.LeakPages*mem.PageSize, vm.ProtRW, vm.KindFile, name); err == nil {
+			as.DirtyPage(a.PageNum(), 0)
+		}
+		in.leakedRequests++
+	}
+
+	// Stack frames and registers carry request-derived values.
+	for i := 0; i < stackSlack; i++ {
+		as.WriteWord(vm.StackTop-vm.Addr(i+1)*mem.PageSize+8, req.ID^req.Secret)
+	}
+	for _, th := range proc.Threads {
+		th.Regs.GP[0] = req.ID
+		th.Regs.GP[1] = req.Secret
+	}
+
+	return Response{ID: req.ID, SizeKB: prof.OutputKB, Result: req.ID * 31}
+}
+
+// churnRegionPages is the size of each scratch region cycled per request.
+const churnRegionPages = 24
+
+// uniformDirtySet lazily selects a uniformly random subset of the heap as
+// the stable write set: DirtyPages pages drawn without replacement, in
+// address order. Run lengths follow the geometric distribution of uniform
+// density, which is what the restorer's copy coalescing responds to.
+func (in *Instance) uniformDirtySet() []uint64 {
+	if in.dirtySet != nil || in.Prof.DirtyPages == 0 {
+		return in.dirtySet
+	}
+	pool := in.heapPages - in.Prof.DropPages
+	for _, v := range in.arenas {
+		pool += v.Pages()
+	}
+	want := in.Prof.DirtyPages
+	if want > pool {
+		want = pool
+	}
+	rng := sim.NewRand(hashName(in.Prof.Name) ^ 0xD1274)
+	set := make([]uint64, 0, want)
+	seen := 0
+	for idx := 0; idx < pool && seen < want; idx++ {
+		if rng.Intn(pool-idx) < want-seen {
+			set = append(set, in.poolPage(idx))
+			seen++
+		}
+	}
+	// Pool index order interleaves heap (low addresses) and arenas (high,
+	// descending); sort by page number so adjacency reflects addresses.
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	in.dirtySet = set
+	return set
+}
+
+// poolPage maps a pool index onto a page number (heap above the drop
+// window, then the arenas).
+func (in *Instance) poolPage(idx int) uint64 {
+	window := in.Prof.DropPages
+	heapUsable := in.heapPages - window
+	if idx < heapUsable {
+		return in.heapStart.PageNum() + uint64(window+idx)
+	}
+	idx -= heapUsable
+	for _, v := range in.arenas {
+		if idx < v.Pages() {
+			return v.Start.PageNum() + uint64(idx)
+		}
+		idx -= v.Pages()
+	}
+	return in.heapStart.PageNum() + uint64(window)
+}
+
+// pickPage maps a pseudo-random salt onto a warm page (heap or arenas),
+// avoiding text (read-only) and stack.
+func (in *Instance) pickPage(salt uint64) uint64 { return in.pickRun(salt, 1) }
+
+// pickRun is pickPage with the guarantee that `run` consecutive pages
+// starting at the returned page all lie within one warm region.
+func (in *Instance) pickRun(salt uint64, run int) uint64 {
+	total := in.heapPages
+	for _, v := range in.arenas {
+		total += v.Pages()
+	}
+	// The drop window at the bottom of the heap is excluded: it has its
+	// own per-request lifecycle.
+	window := in.Prof.DropPages
+	heapUsable := in.heapPages - window
+	total -= window
+	idx := int((salt*0x2545F4914F6CDD1D ^ salt>>17) % uint64(total))
+	clamp := func(start uint64, pages, idx int) uint64 {
+		if idx > pages-run {
+			idx = pages - run
+			if idx < 0 {
+				idx = 0
+			}
+		}
+		return start + uint64(idx)
+	}
+	if idx < heapUsable {
+		return clamp(in.heapStart.PageNum()+uint64(window), heapUsable, idx)
+	}
+	idx -= heapUsable
+	for _, v := range in.arenas {
+		if idx < v.Pages() {
+			return clamp(v.Start.PageNum(), v.Pages(), idx)
+		}
+		idx -= v.Pages()
+	}
+	return in.heapStart.PageNum()
+}
+
+// ResidentPages reports the process's current resident set.
+func (in *Instance) ResidentPages() int { return in.Proc.AS.ResidentPages() }

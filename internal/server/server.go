@@ -1,0 +1,210 @@
+// Package server exposes the simulated FaaS platform over HTTP — a
+// "provider in a box" for exploring Groundhog interactively. Deployments
+// (one platform per function × isolation mode) are created lazily on first
+// invocation and stay warm, exactly like reused containers; repeated
+// invocations against the same deployment therefore exercise container
+// reuse with or without request isolation.
+//
+// Endpoints:
+//
+//	GET  /healthz                      liveness
+//	GET  /functions                    the 58-benchmark catalog
+//	GET  /modes                        isolation modes
+//	POST /invoke?fn=NAME&mode=MODE[&caller=ID]
+//	                                   run one request; JSON stats
+//	GET  /deployments                  active deployments and counters
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"groundhog/internal/catalog"
+	"groundhog/internal/faas"
+	"groundhog/internal/isolation"
+	"groundhog/internal/kernel"
+)
+
+// Server multiplexes HTTP requests onto simulated platforms. The simulation
+// is single-threaded; a mutex serializes access.
+type Server struct {
+	mu    sync.Mutex
+	cost  kernel.CostModel
+	seed  uint64
+	trust bool
+
+	deployments map[string]*deployment
+}
+
+type deployment struct {
+	platform *faas.Platform
+	fn       string
+	mode     isolation.Mode
+	invoked  int
+}
+
+// New returns a server with the default cost model.
+func New() *Server {
+	return &Server{
+		cost:        kernel.Default(),
+		seed:        1,
+		deployments: make(map[string]*deployment),
+	}
+}
+
+// SetTrustSameCaller enables the §4.4 trusted-caller optimization on all
+// future deployments.
+func (s *Server) SetTrustSameCaller(on bool) { s.trust = on }
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/functions", s.handleFunctions)
+	mux.HandleFunc("/modes", s.handleModes)
+	mux.HandleFunc("/invoke", s.handleInvoke)
+	mux.HandleFunc("/deployments", s.handleDeployments)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// FunctionInfo is one catalog entry in the /functions listing.
+type FunctionInfo struct {
+	Name       string  `json:"name"`
+	Suite      string  `json:"suite"`
+	Language   string  `json:"language"`
+	ExecMS     float64 `json:"exec_ms"`
+	TotalPages int     `json:"total_pages"`
+	DirtyPages int     `json:"dirty_pages"`
+}
+
+func (s *Server) handleFunctions(w http.ResponseWriter, r *http.Request) {
+	var out []FunctionInfo
+	for _, e := range catalog.All() {
+		out = append(out, FunctionInfo{
+			Name:       e.Prof.DisplayName(),
+			Suite:      string(e.Suite),
+			Language:   e.Prof.Lang.String(),
+			ExecMS:     float64(e.Prof.Exec) / 1e6,
+			TotalPages: e.Prof.TotalPages,
+			DirtyPages: e.Prof.DirtyPages,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleModes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, isolation.Modes)
+}
+
+// InvokeResponse is the JSON result of POST /invoke.
+type InvokeResponse struct {
+	Function     string  `json:"function"`
+	Mode         string  `json:"mode"`
+	Caller       string  `json:"caller,omitempty"`
+	InvokerMS    float64 `json:"invoker_ms"`
+	E2EMS        float64 `json:"e2e_ms"`
+	RestoreMS    float64 `json:"restore_ms"`
+	Restored     bool    `json:"restored"`
+	PreRestoreMS float64 `json:"pre_restore_ms,omitempty"`
+	ColdStartMS  float64 `json:"cold_start_ms,omitempty"` // present on the deployment's first request
+	VirtualTime  string  `json:"virtual_time"`
+}
+
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	fn := r.URL.Query().Get("fn")
+	mode := isolation.Mode(r.URL.Query().Get("mode"))
+	if mode == "" {
+		mode = isolation.ModeGH
+	}
+	caller := r.URL.Query().Get("caller")
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dep, fresh, err := s.deployment(fn, mode)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := dep.platform.InvokeOnce(caller)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	dep.invoked++
+	resp := InvokeResponse{
+		Function:     fn,
+		Mode:         string(mode),
+		Caller:       caller,
+		InvokerMS:    float64(st.Invoker) / 1e6,
+		E2EMS:        float64(st.E2E) / 1e6,
+		RestoreMS:    float64(st.Cleanup) / 1e6,
+		Restored:     st.Restored,
+		PreRestoreMS: float64(st.PreRestore) / 1e6,
+		VirtualTime:  dep.platform.Engine.Now().String(),
+	}
+	if fresh {
+		resp.ColdStartMS = float64(dep.platform.Containers()[0].ColdStart().Total) / 1e6
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// deployment returns (creating if needed) the platform for fn × mode.
+func (s *Server) deployment(fn string, mode isolation.Mode) (*deployment, bool, error) {
+	key := fn + "|" + string(mode)
+	if dep, ok := s.deployments[key]; ok {
+		return dep, false, nil
+	}
+	entry, err := catalog.Lookup(fn)
+	if err != nil {
+		return nil, false, err
+	}
+	pl, err := faas.NewPlatform(s.cost, entry.Prof, mode, 1, s.seed)
+	if err != nil {
+		return nil, false, fmt.Errorf("deploy %s under %s: %w", fn, mode, err)
+	}
+	pl.TrustSameCaller = s.trust
+	dep := &deployment{platform: pl, fn: fn, mode: mode}
+	s.deployments[key] = dep
+	return dep, true, nil
+}
+
+// DeploymentInfo is one entry of the /deployments listing.
+type DeploymentInfo struct {
+	Function    string  `json:"function"`
+	Mode        string  `json:"mode"`
+	Invoked     int     `json:"invoked"`
+	ColdStartMS float64 `json:"cold_start_ms"`
+	VirtualTime string  `json:"virtual_time"`
+}
+
+func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := []DeploymentInfo{}
+	for _, dep := range s.deployments {
+		out = append(out, DeploymentInfo{
+			Function:    dep.fn,
+			Mode:        string(dep.mode),
+			Invoked:     dep.invoked,
+			ColdStartMS: float64(dep.platform.Containers()[0].ColdStart().Total) / 1e6,
+			VirtualTime: dep.platform.Engine.Now().String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

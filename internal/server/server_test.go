@@ -1,0 +1,175 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func post(t *testing.T, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	var body map[string]string
+	resp := get(t, ts.URL+"/healthz", &body)
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, body)
+	}
+}
+
+func TestFunctionsListsCatalog(t *testing.T) {
+	_, ts := testServer(t)
+	var fns []FunctionInfo
+	get(t, ts.URL+"/functions", &fns)
+	if len(fns) != 58 {
+		t.Fatalf("functions = %d, want 58", len(fns))
+	}
+	seen := false
+	for _, f := range fns {
+		if f.Name == "img-resize (n)" && f.Language == "node" {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("img-resize (n) missing from listing")
+	}
+}
+
+func TestModes(t *testing.T) {
+	_, ts := testServer(t)
+	var modes []string
+	get(t, ts.URL+"/modes", &modes)
+	if len(modes) != 5 {
+		t.Fatalf("modes = %v", modes)
+	}
+}
+
+func TestInvokeLifecycle(t *testing.T) {
+	_, ts := testServer(t)
+	u := ts.URL + "/invoke?fn=" + url.QueryEscape("get-time (p)") + "&mode=gh"
+
+	var first InvokeResponse
+	post(t, u, &first)
+	if first.ColdStartMS <= 0 {
+		t.Fatalf("first invocation should report cold start: %+v", first)
+	}
+	if !first.Restored || first.RestoreMS <= 0 {
+		t.Fatalf("GH invocation did not restore: %+v", first)
+	}
+
+	var second InvokeResponse
+	post(t, u, &second)
+	if second.ColdStartMS != 0 {
+		t.Fatalf("warm invocation reported a cold start: %+v", second)
+	}
+	if second.InvokerMS <= 0 || second.E2EMS <= second.InvokerMS {
+		t.Fatalf("implausible latencies: %+v", second)
+	}
+}
+
+func TestInvokeBaseNeverRestores(t *testing.T) {
+	_, ts := testServer(t)
+	var resp InvokeResponse
+	post(t, ts.URL+"/invoke?fn="+url.QueryEscape("get-time (p)")+"&mode=base", &resp)
+	if resp.Restored || resp.RestoreMS != 0 {
+		t.Fatalf("BASE restored: %+v", resp)
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	_, ts := testServer(t)
+	if resp := post(t, ts.URL+"/invoke?fn=nope&mode=gh", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus fn: %d", resp.StatusCode)
+	}
+	if resp := post(t, ts.URL+"/invoke?fn="+url.QueryEscape("get-time (n)")+"&mode=fork", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("fork-on-node: %d", resp.StatusCode)
+	}
+	if resp := get(t, ts.URL+"/invoke?fn=x", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET invoke: %d", resp.StatusCode)
+	}
+}
+
+func TestDeploymentsListing(t *testing.T) {
+	_, ts := testServer(t)
+	post(t, ts.URL+"/invoke?fn="+url.QueryEscape("version (p)")+"&mode=gh", nil)
+	post(t, ts.URL+"/invoke?fn="+url.QueryEscape("version (p)")+"&mode=gh", nil)
+	post(t, ts.URL+"/invoke?fn="+url.QueryEscape("version (p)")+"&mode=base", nil)
+	var deps []DeploymentInfo
+	get(t, ts.URL+"/deployments", &deps)
+	if len(deps) != 2 {
+		t.Fatalf("deployments = %d, want 2", len(deps))
+	}
+	total := 0
+	for _, d := range deps {
+		total += d.Invoked
+		if d.ColdStartMS <= 0 {
+			t.Fatalf("deployment without cold start: %+v", d)
+		}
+	}
+	if total != 3 {
+		t.Fatalf("invocations = %d, want 3", total)
+	}
+}
+
+func TestTrustedCallerOverHTTP(t *testing.T) {
+	s, ts := testServer(t)
+	s.SetTrustSameCaller(true)
+	u := ts.URL + "/invoke?fn=" + url.QueryEscape("md2html (p)") + "&mode=gh&caller="
+	var a1, a2, b InvokeResponse
+	post(t, u+"alice", &a1)
+	post(t, u+"alice", &a2)
+	post(t, u+"bob", &b)
+	if a2.Restored || a2.RestoreMS != 0 {
+		t.Fatalf("same-caller invocation restored: %+v", a2)
+	}
+	if b.PreRestoreMS <= 0 {
+		t.Fatalf("caller switch did not pay deferred restore: %+v", b)
+	}
+}
+
+func TestDefaultModeIsGH(t *testing.T) {
+	_, ts := testServer(t)
+	var resp InvokeResponse
+	post(t, ts.URL+"/invoke?fn="+url.QueryEscape("version (p)"), &resp)
+	if resp.Mode != "gh" {
+		t.Fatalf("default mode = %q", resp.Mode)
+	}
+}

@@ -1,0 +1,87 @@
+package sim
+
+import "sort"
+
+// Meter accumulates virtual cost. Functional components (address spaces,
+// ptrace, pipes) charge their per-operation costs to a Meter; the event
+// engine later advances the clock by the metered total. Separating metering
+// from the clock keeps the functional layer synchronous and easy to test.
+//
+// A Meter also keeps named sub-accounts so composite operations (such as a
+// Groundhog restore) can report a per-phase breakdown, as in Fig. 8 of the
+// paper.
+type Meter struct {
+	total   Duration
+	phases  map[string]Duration
+	current string
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{phases: make(map[string]Duration)} }
+
+// Charge adds d to the running total (and to the current phase, if one is
+// set). Negative charges panic: costs only accrue.
+func (m *Meter) Charge(d Duration) {
+	if d < 0 {
+		panic("sim: negative charge")
+	}
+	m.total += d
+	if m.current != "" {
+		m.phases[m.current] += d
+	}
+}
+
+// ChargePhase adds d to the named phase without changing the current phase.
+func (m *Meter) ChargePhase(phase string, d Duration) {
+	if d < 0 {
+		panic("sim: negative charge")
+	}
+	m.total += d
+	m.phases[phase] += d
+}
+
+// BeginPhase directs subsequent Charge calls into the named account.
+// Passing "" ends phase attribution.
+func (m *Meter) BeginPhase(phase string) { m.current = phase }
+
+// Total returns the accumulated cost.
+func (m *Meter) Total() Duration { return m.total }
+
+// Phase returns the accumulated cost of a named phase.
+func (m *Meter) Phase(name string) Duration { return m.phases[name] }
+
+// Phases returns the phase names with non-zero cost in sorted order.
+func (m *Meter) Phases() []string {
+	names := make([]string, 0, len(m.phases))
+	for n, d := range m.phases {
+		if d > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset clears the total and all phases.
+func (m *Meter) Reset() {
+	m.total = 0
+	m.current = ""
+	for k := range m.phases {
+		delete(m.phases, k)
+	}
+}
+
+// ChargeTo is a nil-safe charge helper: components accept *Meter and callers
+// that do not care about cost may pass nil.
+func ChargeTo(m *Meter, d Duration) {
+	if m != nil {
+		m.Charge(d)
+	}
+}
+
+// ChargePhaseTo is a nil-safe phase charge helper.
+func ChargePhaseTo(m *Meter, phase string, d Duration) {
+	if m != nil {
+		m.ChargePhase(phase, d)
+	}
+}

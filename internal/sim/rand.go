@@ -1,0 +1,55 @@
+package sim
+
+// Rand is a small, deterministic pseudo-random source (SplitMix64). The
+// experiments use it to add measurement jitter so that reported standard
+// deviations are non-zero, exactly reproducibly. We deliberately do not use
+// math/rand so that the sequence is pinned independent of the Go release.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a source seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next value in the sequence.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Normal returns an approximately normally distributed value with the given
+// mean and standard deviation, using the sum of twelve uniforms (Irwin-Hall).
+// The approximation is more than adequate for injecting measurement jitter.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	var s float64
+	for i := 0; i < 12; i++ {
+		s += r.Float64()
+	}
+	return mean + (s-6)*stddev
+}
+
+// Jitter returns d scaled by a factor drawn from a normal distribution with
+// mean 1 and the given coefficient of variation, clamped to stay positive.
+func (r *Rand) Jitter(d Duration, cv float64) Duration {
+	f := r.Normal(1, cv)
+	if f < 0.05 {
+		f = 0.05
+	}
+	return Duration(float64(d) * f)
+}

@@ -1,0 +1,71 @@
+package sim
+
+// Resource models a server with fixed capacity (for example, a CPU core or a
+// pool of cores) on which work items queue FIFO. Acquire either grants a
+// slot immediately or enqueues the waiter; Release hands the freed slot to
+// the next waiter in order.
+//
+// Resource intentionally has no timing of its own: holders decide how long
+// to keep a slot by scheduling their own Release on the Engine. This keeps
+// the model composable — a container holds a core slot for its metered
+// execution duration, then releases it.
+type Resource struct {
+	capacity int
+	inUse    int
+	waiters  []func()
+}
+
+// NewResource returns a resource with the given capacity (> 0).
+func NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{capacity: capacity}
+}
+
+// Acquire requests a slot. If one is free, granted runs immediately (before
+// Acquire returns); otherwise it is queued and runs when a slot frees up.
+func (r *Resource) Acquire(granted func()) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		granted()
+		return
+	}
+	r.waiters = append(r.waiters, granted)
+}
+
+// TryAcquire requests a slot without queueing. It reports whether the slot
+// was granted.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns a slot. If waiters are queued, ownership transfers
+// directly to the oldest waiter, whose callback runs immediately.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource")
+	}
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters[len(r.waiters)-1] = nil
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		next()
+		return
+	}
+	r.inUse--
+}
+
+// InUse reports the number of held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Capacity reports the total number of slots.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// QueueLen reports the number of queued waiters.
+func (r *Resource) QueueLen() int { return len(r.waiters) }

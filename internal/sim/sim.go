@@ -1,0 +1,131 @@
+// Package sim provides the discrete-event simulation substrate used by the
+// Groundhog reproduction: a virtual clock, an event engine, cost meters, and
+// a deterministic random source.
+//
+// All latency and throughput numbers reported by this repository are measured
+// in virtual time. Functional components (the simulated kernel, address
+// spaces, the FaaS platform) never call time.Now; they charge costs to a
+// Meter or schedule events on an Engine, which makes every experiment
+// deterministic and independent of the host machine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. Virtual time has no relation to wall-clock time.
+type Time int64
+
+// Duration re-exports time.Duration for readability: virtual durations use
+// the same unit (nanoseconds) and formatting as real ones.
+type Duration = time.Duration
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// event is a scheduled callback. Events at equal times fire in scheduling
+// order (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event executor. The zero value is
+// ready to use. Engine is not safe for concurrent use; the simulation model
+// is cooperative, with concurrency expressed as interleaved events.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at virtual time t. Scheduling in the past is a
+// programming error and panics: the simulated world cannot rewrite history.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Run executes events in time order until none remain or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// RunUntil executes events in time order until the queue is empty, Stop is
+// called, or the next event lies after deadline. The clock is left at the
+// deadline if it was reached, so subsequent scheduling is relative to it.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > deadline {
+			e.now = deadline
+			return
+		}
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+// Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

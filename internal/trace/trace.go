@@ -1,0 +1,302 @@
+// Package trace simulates a multi-function FaaS fleet: several deployed
+// functions sharing one invoker host, each with its own arrival process,
+// dynamically scaled container pools with keep-alive expiry, cold starts on
+// demand, and FIFO queueing when the pool is saturated.
+//
+// The paper motivates Groundhog with exactly this setting (§1-§2:
+// multiplexed tenants, Azure-style short functions [39], idle capacity
+// between requests); the fleet simulation quantifies what request isolation
+// costs a *provider* — latency distributions, cold-start rates, restore
+// counts, and memory — rather than a single benchmark container.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"groundhog/internal/catalog"
+	"groundhog/internal/faas"
+	"groundhog/internal/isolation"
+	"groundhog/internal/kernel"
+	"groundhog/internal/metrics"
+	"groundhog/internal/sim"
+)
+
+// FunctionLoad describes one deployed function's workload.
+type FunctionLoad struct {
+	Entry catalog.Entry
+	// RatePerSec is the mean arrival rate.
+	RatePerSec float64
+	// Burstiness is the coefficient of variation of interarrival times:
+	// 1 is Poisson; >1 produces bursts via a hyperexponential mixture
+	// (Azure traces show highly bursty per-function arrivals [39]).
+	Burstiness float64
+}
+
+// Config parameterizes a fleet run.
+type Config struct {
+	Cost kernel.CostModel
+	Mode isolation.Mode
+	Seed uint64
+
+	// MaxContainersPerFunction caps each function's pool.
+	MaxContainersPerFunction int
+	// KeepAlive is the idle TTL after which a warm container is reaped.
+	KeepAlive sim.Duration
+	// Window is the simulated duration.
+	Window sim.Duration
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MaxContainersPerFunction < 1 {
+		return fmt.Errorf("trace: need at least one container per function")
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("trace: non-positive window")
+	}
+	if c.KeepAlive <= 0 {
+		return fmt.Errorf("trace: non-positive keep-alive")
+	}
+	return nil
+}
+
+// FunctionStats aggregates one function's outcomes.
+type FunctionStats struct {
+	Name       string
+	Requests   int
+	ColdStarts int
+	Restores   int
+	Reaped     int
+
+	E2E   metrics.Summary // ms, including queueing and cold-start waits
+	Queue metrics.Summary // ms waiting for a container
+}
+
+// Result is a fleet run's outcome.
+type Result struct {
+	PerFunction []*FunctionStats
+	// PeakFrames is the kernel-wide high-water mark of resident frames — a
+	// direct memory-pressure comparison between isolation modes.
+	PeakFrames int
+}
+
+// Function returns a function's stats by display name.
+func (r *Result) Function(name string) (*FunctionStats, bool) {
+	for _, f := range r.PerFunction {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// fnState is the dispatcher's view of one deployed function.
+type fnState struct {
+	load     FunctionLoad
+	platform *faas.Platform
+	queue    []sim.Time // arrival times of waiting requests
+	stats    *FunctionStats
+	rng      *sim.Rand
+}
+
+// Fleet runs a multi-function workload and reports per-function and
+// fleet-wide outcomes.
+type Fleet struct {
+	cfg    Config
+	engine *sim.Engine
+	kern   *kernel.Kernel
+	fns    []*fnState
+	err    error
+}
+
+// NewFleet deploys the given functions (one warm container each — providers
+// keep a floor of pre-warmed capacity) on a shared simulated host.
+func NewFleet(cfg Config, loads []FunctionLoad) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("trace: no functions")
+	}
+	f := &Fleet{
+		cfg:    cfg,
+		engine: sim.NewEngine(),
+		kern:   kernel.New(cfg.Cost),
+	}
+	for i, load := range loads {
+		if load.RatePerSec <= 0 {
+			return nil, fmt.Errorf("trace: %s: non-positive rate", load.Entry.Prof.DisplayName())
+		}
+		pl, err := faas.NewPlatformOn(f.engine, f.kern, load.Entry.Prof, cfg.Mode, 1, cfg.Seed+uint64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		f.fns = append(f.fns, &fnState{
+			load:     load,
+			platform: pl,
+			stats:    &FunctionStats{Name: load.Entry.Prof.DisplayName()},
+			rng:      sim.NewRand(cfg.Seed ^ uint64(i)*0x9E3779B97F4A7C15),
+		})
+	}
+	return f, nil
+}
+
+// interarrival draws the next gap for a function: exponential for
+// Burstiness <= 1, hyperexponential (two-phase) above.
+func (fs *fnState) interarrival() sim.Duration {
+	mean := 1e9 / fs.load.RatePerSec
+	cv := fs.load.Burstiness
+	u := fs.rng.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	exp := -math.Log(u)
+	if cv <= 1 {
+		return sim.Duration(mean * exp)
+	}
+	// Two-phase balanced hyperexponential: phase 1 is chosen with
+	// probability p and has rate 2p/mean, phase 2 with 1-p and rate
+	// 2(1-p)/mean; the mixture keeps the requested mean with CV > 1.
+	p := 0.5 * (1 + math.Sqrt((cv*cv-1)/(cv*cv+1)))
+	var rate float64
+	if fs.rng.Float64() < p {
+		rate = 2 * p / mean
+	} else {
+		rate = 2 * (1 - p) / mean
+	}
+	return sim.Duration(exp / rate)
+}
+
+// Run executes the configured window and returns the results.
+func (f *Fleet) Run() (*Result, error) {
+	deadline := sim.Time(f.cfg.Window)
+
+	// Arrival processes.
+	for _, fs := range f.fns {
+		fs := fs
+		var arrive func()
+		arrive = func() {
+			if f.err != nil || f.engine.Now() >= deadline {
+				return
+			}
+			fs.queue = append(fs.queue, f.engine.Now())
+			f.dispatch(fs)
+			f.engine.After(fs.interarrival(), arrive)
+		}
+		f.engine.After(fs.interarrival(), arrive)
+	}
+
+	// Keep-alive reaper.
+	var reap func()
+	reap = func() {
+		if f.err != nil || f.engine.Now() >= deadline {
+			return
+		}
+		now := f.engine.Now()
+		for _, fs := range f.fns {
+			// Keep one container as the warm floor; reap the rest when
+			// idle past the TTL.
+			cs := fs.platform.Containers()
+			for _, c := range cs {
+				if len(fs.platform.Containers()) <= 1 {
+					break
+				}
+				idleSince := c.LastDone()
+				if c.Ready() > now || idleSince == 0 {
+					continue // busy or never used
+				}
+				if now.Sub(idleSince) > f.cfg.KeepAlive {
+					fs.platform.RemoveContainer(c)
+					fs.stats.Reaped++
+				}
+			}
+		}
+		f.engine.After(f.cfg.KeepAlive/2, reap)
+	}
+	f.engine.After(f.cfg.KeepAlive/2, reap)
+
+	f.engine.RunUntil(deadline)
+	// Drain: let in-flight requests finish (no new arrivals).
+	f.engine.Run()
+	if f.err != nil {
+		return nil, f.err
+	}
+
+	res := &Result{PeakFrames: f.kern.Phys.Peak()}
+	for _, fs := range f.fns {
+		res.PerFunction = append(res.PerFunction, fs.stats)
+	}
+	sort.Slice(res.PerFunction, func(i, j int) bool {
+		return res.PerFunction[i].Name < res.PerFunction[j].Name
+	})
+	return res, nil
+}
+
+// dispatch hands queued requests to available containers, scaling the pool
+// up (with a cold start) when all are busy and the cap allows.
+func (f *Fleet) dispatch(fs *fnState) {
+	if f.err != nil {
+		return
+	}
+	now := f.engine.Now()
+	for len(fs.queue) > 0 {
+		c := f.pickReady(fs, now)
+		if c == nil {
+			// No container free right now: scale up if allowed, then wait
+			// for the earliest ready time either way.
+			if len(fs.platform.Containers()) < f.cfg.MaxContainersPerFunction {
+				nc, err := fs.platform.AddContainer()
+				if err != nil {
+					f.err = err
+					f.engine.Stop()
+					return
+				}
+				fs.stats.ColdStarts++
+				f.engine.At(nc.Ready(), func() { f.dispatch(fs) })
+			} else if next := f.earliestReady(fs); next > now {
+				f.engine.At(next, func() { f.dispatch(fs) })
+			}
+			return
+		}
+		arrived := fs.queue[0]
+		fs.queue = fs.queue[1:]
+		st, err := fs.platform.Serve(c, "")
+		if err != nil {
+			f.err = err
+			f.engine.Stop()
+			return
+		}
+		wait := now.Sub(arrived)
+		fs.stats.Requests++
+		fs.stats.E2E.AddDuration(st.E2E + wait)
+		fs.stats.Queue.AddDuration(wait)
+		if st.Restored {
+			fs.stats.Restores++
+		}
+		// When this container frees up, it may drain more queue.
+		f.engine.At(st.ReadyAgain, func() { f.dispatch(fs) })
+	}
+}
+
+// pickReady returns a container that can serve right now, or nil.
+func (f *Fleet) pickReady(fs *fnState, now sim.Time) *faas.Container {
+	for _, c := range fs.platform.Containers() {
+		if c.Ready() <= now {
+			return c
+		}
+	}
+	return nil
+}
+
+// earliestReady returns the soonest ready time across the pool.
+func (f *Fleet) earliestReady(fs *fnState) sim.Time {
+	var best sim.Time
+	for _, c := range fs.platform.Containers() {
+		if best == 0 || c.Ready() < best {
+			best = c.Ready()
+		}
+	}
+	return best
+}

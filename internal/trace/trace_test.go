@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"groundhog/internal/catalog"
+	"groundhog/internal/isolation"
+	"groundhog/internal/kernel"
+	"groundhog/internal/sim"
+)
+
+func testLoads(t *testing.T, rate float64) []FunctionLoad {
+	t.Helper()
+	names := []string{"get-time (p)", "md2html (p)", "bicg (c)"}
+	var loads []FunctionLoad
+	for _, n := range names {
+		e, err := catalog.Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads = append(loads, FunctionLoad{Entry: e, RatePerSec: rate, Burstiness: 1})
+	}
+	return loads
+}
+
+func testConfig(mode isolation.Mode) Config {
+	return Config{
+		Cost:                     kernel.Default(),
+		Mode:                     mode,
+		Seed:                     3,
+		MaxContainersPerFunction: 3,
+		KeepAlive:                2 * time.Second,
+		Window:                   4 * time.Second,
+	}
+}
+
+func TestFleetServesAllFunctions(t *testing.T) {
+	f, err := NewFleet(testConfig(isolation.ModeBase), testLoads(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerFunction) != 3 {
+		t.Fatalf("functions = %d", len(res.PerFunction))
+	}
+	for _, fs := range res.PerFunction {
+		// ~40 expected arrivals per function over the window.
+		if fs.Requests < 15 {
+			t.Fatalf("%s served only %d requests", fs.Name, fs.Requests)
+		}
+		if fs.Restores != 0 {
+			t.Fatalf("BASE fleet restored state: %s %d", fs.Name, fs.Restores)
+		}
+		if fs.E2E.Mean() <= 0 {
+			t.Fatalf("%s has no latency samples", fs.Name)
+		}
+	}
+}
+
+func TestFleetGHRestoresEveryRequest(t *testing.T) {
+	f, err := NewFleet(testConfig(isolation.ModeGH), testLoads(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range res.PerFunction {
+		if fs.Restores != fs.Requests {
+			t.Fatalf("%s: %d restores for %d requests", fs.Name, fs.Restores, fs.Requests)
+		}
+	}
+}
+
+func TestFleetLatencyGHTracksBaseAtLowLoad(t *testing.T) {
+	mean := func(mode isolation.Mode) float64 {
+		f, err := NewFleet(testConfig(mode), testLoads(t, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, fs := range res.PerFunction {
+			sum += fs.E2E.Mean()
+		}
+		return sum / float64(len(res.PerFunction))
+	}
+	base, gh := mean(isolation.ModeBase), mean(isolation.ModeGH)
+	if gh > base*1.25 {
+		t.Fatalf("fleet GH mean %.2fms far above BASE %.2fms at low load", gh, base)
+	}
+}
+
+func TestFleetScalesUpUnderBurst(t *testing.T) {
+	cfg := testConfig(isolation.ModeGH)
+	loads := testLoads(t, 60)[:1] // one function, hot
+	loads[0].Burstiness = 4
+	f, err := NewFleet(cfg, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.PerFunction[0]
+	if fs.ColdStarts == 0 {
+		t.Fatal("hot bursty function never scaled up")
+	}
+	if fs.ColdStarts > cfg.MaxContainersPerFunction {
+		t.Fatalf("cold starts %d exceed pool cap %d (pool churn?)",
+			fs.ColdStarts, cfg.MaxContainersPerFunction+fs.Reaped*cfg.MaxContainersPerFunction)
+	}
+}
+
+func TestFleetKeepAliveReapsIdleContainers(t *testing.T) {
+	cfg := testConfig(isolation.ModeBase)
+	cfg.Window = 10 * time.Second
+	cfg.KeepAlive = 500 * time.Millisecond
+	// Bursty single function: scale up early, idle later.
+	loads := testLoads(t, 50)[:1]
+	loads[0].Burstiness = 4
+	f, err := NewFleet(cfg, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.PerFunction[0]
+	if fs.ColdStarts == 0 {
+		t.Skip("workload never scaled up; nothing to reap")
+	}
+	if fs.Reaped == 0 {
+		t.Fatal("no idle containers reaped despite short keep-alive")
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	cfg := testConfig(isolation.ModeBase)
+	cfg.MaxContainersPerFunction = 0
+	if _, err := NewFleet(cfg, testLoads(t, 1)); err == nil {
+		t.Fatal("zero pool cap accepted")
+	}
+	cfg = testConfig(isolation.ModeBase)
+	if _, err := NewFleet(cfg, nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	loads := testLoads(t, 1)
+	loads[0].RatePerSec = 0
+	if _, err := NewFleet(cfg, loads); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestFleetResultLookup(t *testing.T) {
+	f, err := NewFleet(testConfig(isolation.ModeBase), testLoads(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Function("md2html (p)"); !ok {
+		t.Fatal("Function lookup failed")
+	}
+	if _, ok := res.Function("nope"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+	if res.PeakFrames <= 0 {
+		t.Fatal("no frame accounting")
+	}
+}
+
+// The hyperexponential interarrival generator must preserve the requested
+// mean and raise variance with Burstiness.
+func TestInterarrivalMoments(t *testing.T) {
+	gen := func(cv float64) (mean, stddev float64) {
+		fs := &fnState{
+			load: FunctionLoad{RatePerSec: 100, Burstiness: cv},
+			rng:  sim.NewRand(99),
+		}
+		const n = 30000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(fs.interarrival()) / 1e6 // ms
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		return m, math.Sqrt(sumSq/n - m*m)
+	}
+	m1, s1 := gen(1)
+	if m1 < 9 || m1 > 11 {
+		t.Fatalf("Poisson mean = %.2fms, want ~10", m1)
+	}
+	if cv := s1 / m1; cv < 0.9 || cv > 1.1 {
+		t.Fatalf("Poisson CV = %.2f, want ~1", cv)
+	}
+	m4, s4 := gen(4)
+	if m4 < 8.5 || m4 > 11.5 {
+		t.Fatalf("bursty mean = %.2fms, want ~10", m4)
+	}
+	if cv := s4 / m4; cv < 3 {
+		t.Fatalf("bursty CV = %.2f, want ~4", cv)
+	}
+}

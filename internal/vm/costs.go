@@ -1,0 +1,55 @@
+package vm
+
+import "groundhog/internal/sim"
+
+// Costs is the virtual-time price list for memory operations. The zero value
+// makes every operation free, which is what pure functional tests use; the
+// kernel package supplies the calibrated model used by the experiments.
+//
+// The distinctions below are the ones the paper's evaluation turns on:
+//
+//   - SoftDirtyFault is the cheap write-protect minor fault that sets a
+//     page's soft-dirty bit on the first write after a clear_refs (§5.2.1).
+//     This is Groundhog's only in-function, critical-path cost.
+//   - CoWFault is the expensive copying fault taken by fork-based isolation
+//     on the first write to a shared page (§5.2.3).
+//   - FirstTouch is the post-fork cost of repopulating TLB/page-table state
+//     on the first access to each page, even unmodified ones — the reason
+//     FORK's latency grows with address-space size in Fig. 3 (right).
+type Costs struct {
+	// ReadWord and WriteWord are the warm in-function access costs.
+	ReadWord  sim.Duration
+	WriteWord sim.Duration
+	// MinorFault is a demand-zero allocation fault (first touch of an
+	// unbacked page).
+	MinorFault sim.Duration
+	// SoftDirtyFault is the write-protect fault that records a soft-dirty
+	// bit when tracking is armed.
+	SoftDirtyFault sim.Duration
+	// UffdFault is the userfaultfd write-protect notification cost taken
+	// instead of SoftDirtyFault when UFFD tracking is selected. It is
+	// substantially more expensive because each fault context-switches to
+	// the user-space handler (§4.3: why the paper chose soft-dirty bits).
+	UffdFault sim.Duration
+	// CoWFault is a copy-on-write fault, including the page copy.
+	CoWFault sim.Duration
+	// FirstTouch is the per-page cost of the first access after a fork
+	// (dTLB miss plus lazy page-table population).
+	FirstTouch sim.Duration
+	// Syscall is the base cost of a direct memory-management syscall.
+	Syscall sim.Duration
+	// PerPageOp is the per-page marginal cost of mapping operations
+	// (munmap teardown, madvise, mprotect walks).
+	PerPageOp sim.Duration
+}
+
+// FaultStats counts faults by type, for assertions and reporting.
+type FaultStats struct {
+	Minor      uint64 // demand-zero faults
+	SoftDirty  uint64 // write-protect faults that set a soft-dirty bit
+	CoW        uint64 // copy-on-write copies
+	FirstTouch uint64 // post-fork first-access faults
+}
+
+// Total returns the total number of faults of all types.
+func (f FaultStats) Total() uint64 { return f.Minor + f.SoftDirty + f.CoW + f.FirstTouch }

@@ -1,0 +1,229 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"groundhog/internal/mem"
+	"groundhog/internal/sim"
+)
+
+func TestForkSharesThenCopies(t *testing.T) {
+	parent := newTestSpace(t)
+	heap := Addr(0x01000000)
+	mustBrk(t, parent, heap+4*mem.PageSize)
+	parent.WriteWord(heap, 100)
+	framesBefore := parent.Phys().InUse()
+
+	child := parent.Fork()
+	if parent.Phys().InUse() != framesBefore {
+		t.Fatalf("fork allocated frames eagerly: %d -> %d", framesBefore, parent.Phys().InUse())
+	}
+	if got := child.ReadWord(heap); got != 100 {
+		t.Fatalf("child read = %d, want 100", got)
+	}
+
+	// Child write must not be visible to the parent.
+	child.WriteWord(heap, 200)
+	if got := parent.ReadWord(heap); got != 100 {
+		t.Fatalf("child write leaked into parent: %d", got)
+	}
+	if got := child.ReadWord(heap); got != 200 {
+		t.Fatalf("child lost its own write: %d", got)
+	}
+	if f := child.Faults(); f.CoW != 1 {
+		t.Fatalf("child CoW faults = %d, want 1", f.CoW)
+	}
+
+	// Parent write to a shared page must not be visible to the child.
+	parent.WriteWord(heap+mem.PageSize, 300)
+	child2 := parent.Fork()
+	parent.WriteWord(heap+mem.PageSize, 301)
+	if got := child2.ReadWord(heap + mem.PageSize); got != 300 {
+		t.Fatalf("parent write leaked into child: %d", got)
+	}
+}
+
+func TestForkFirstTouchCost(t *testing.T) {
+	costs := Costs{FirstTouch: 10}
+	as := New(mem.New(), costs)
+	if err := as.SetupHeap(0x01000000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Brk(0x01000000 + 4*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		as.WriteWord(0x01000000+Addr(i*mem.PageSize), 1)
+	}
+	child := as.Fork()
+	m := sim.NewMeter()
+	child.SetMeter(m)
+	// Reads of all four pages: each pays FirstTouch exactly once.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 4; i++ {
+			child.ReadWord(0x01000000 + Addr(i*mem.PageSize))
+		}
+	}
+	if m.Total() != 40 {
+		t.Fatalf("first-touch cost = %v, want 40", m.Total())
+	}
+	if f := child.Faults(); f.FirstTouch != 4 {
+		t.Fatalf("first-touch faults = %d, want 4", f.FirstTouch)
+	}
+	// The parent pays nothing.
+	pm := sim.NewMeter()
+	as.SetMeter(pm)
+	as.ReadWord(0x01000000)
+	if pm.Total() != 0 {
+		t.Fatalf("parent charged %v after fork", pm.Total())
+	}
+}
+
+func TestForkChildReleaseLeavesParentIntact(t *testing.T) {
+	parent := newTestSpace(t)
+	heap := Addr(0x01000000)
+	mustBrk(t, parent, heap+8*mem.PageSize)
+	for i := 0; i < 8; i++ {
+		parent.WriteWord(heap+Addr(i*mem.PageSize), uint64(i))
+	}
+	child := parent.Fork()
+	child.WriteWord(heap, 999)
+	child.Release()
+	for i := 0; i < 8; i++ {
+		if got := parent.ReadWord(heap + Addr(i*mem.PageSize)); got != uint64(i) {
+			t.Fatalf("parent page %d corrupted after child exit: %d", i, got)
+		}
+	}
+	if parent.Phys().InUse() != 8 {
+		t.Fatalf("frames after child release = %d, want 8", parent.Phys().InUse())
+	}
+}
+
+func TestForkLayoutIndependence(t *testing.T) {
+	parent := newTestSpace(t)
+	child := parent.Fork()
+	a, err := child.Mmap(4*mem.PageSize, ProtRW, KindAnon, "childbuf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := parent.FindVMA(a); ok {
+		t.Fatal("child mmap appeared in parent layout")
+	}
+	if err := parent.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property test: after arbitrary interleaved writes in parent and child, the
+// two spaces never alias (child sees its writes, parent sees its own).
+func TestForkIsolationProperty(t *testing.T) {
+	heap := Addr(0x01000000)
+	const pages = 16
+	f := func(parentWrites, childWrites []uint8) bool {
+		parent := New(mem.New(), Costs{})
+		if err := parent.SetupHeap(heap); err != nil {
+			return false
+		}
+		if _, err := parent.Brk(heap + pages*mem.PageSize); err != nil {
+			return false
+		}
+		// Seed all pages with a known value.
+		for i := uint64(0); i < pages; i++ {
+			parent.WriteWord(heap+Addr(i*mem.PageSize), 7)
+		}
+		child := parent.Fork()
+		for _, w := range parentWrites {
+			parent.WriteWord(heap+Addr(uint64(w%pages)*mem.PageSize), 1000+uint64(w))
+		}
+		for _, w := range childWrites {
+			child.WriteWord(heap+Addr(uint64(w%pages)*mem.PageSize), 2000+uint64(w))
+		}
+		// Verify: every page holds the last value written by its own space,
+		// or the seed if untouched by that space.
+		expect := func(writes []uint8, offset uint64) map[uint64]uint64 {
+			m := make(map[uint64]uint64)
+			for _, w := range writes {
+				m[uint64(w%pages)] = offset + uint64(w)
+			}
+			return m
+		}
+		pw, cw := expect(parentWrites, 1000), expect(childWrites, 2000)
+		for i := uint64(0); i < pages; i++ {
+			want := uint64(7)
+			if v, ok := pw[i]; ok {
+				want = v
+			}
+			if parent.ReadWord(heap+Addr(i*mem.PageSize)) != want {
+				return false
+			}
+			want = 7
+			if v, ok := cw[i]; ok {
+				want = v
+			}
+			if child.ReadWord(heap+Addr(i*mem.PageSize)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property test: VMA invariants hold after arbitrary sequences of mmap,
+// munmap, mprotect, madvise and brk.
+func TestLayoutInvariantsProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		A    uint16
+		B    uint16
+	}
+	f := func(ops []op) bool {
+		as := New(mem.New(), Costs{})
+		if err := as.SetupHeap(0x01000000); err != nil {
+			return false
+		}
+		var mapped []Addr
+		for _, o := range ops {
+			switch o.Kind % 5 {
+			case 0: // mmap 1..8 pages
+				a, err := as.Mmap((int(o.A%8)+1)*mem.PageSize, ProtRW, KindAnon, "")
+				if err == nil {
+					mapped = append(mapped, a)
+				}
+			case 1: // munmap part of a previous mapping
+				if len(mapped) > 0 {
+					a := mapped[int(o.A)%len(mapped)]
+					_ = as.Munmap(a, (int(o.B%4)+1)*mem.PageSize)
+				}
+			case 2: // mprotect
+				if len(mapped) > 0 {
+					a := mapped[int(o.A)%len(mapped)]
+					_ = as.Mprotect(a, mem.PageSize, ProtRead)
+				}
+			case 3: // brk to 0..32 pages
+				_, _ = as.Brk(0x01000000 + Addr(int(o.A%32)*mem.PageSize))
+			case 4: // write into a mapping if possible
+				if len(mapped) > 0 {
+					a := mapped[int(o.A)%len(mapped)]
+					if v, ok := as.FindVMA(a); ok && v.Prot&ProtWrite != 0 {
+						as.WriteWord(a, uint64(o.B))
+					}
+				}
+			}
+			if err := as.CheckInvariants(); err != nil {
+				t.Logf("invariant violated: %v", err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package vm
+
+import (
+	"testing"
+
+	"groundhog/internal/mem"
+)
+
+func TestMremapShrink(t *testing.T) {
+	as := newTestSpace(t)
+	a, err := as.Mmap(8*mem.PageSize, ProtRW, KindAnon, "buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as.WriteWord(a, 1)
+	as.WriteWord(a+6*mem.PageSize, 2)
+	got, err := as.Mremap(a, 8*mem.PageSize, 4*mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("shrink moved the mapping: %v", got)
+	}
+	if as.ReadWord(a) != 1 {
+		t.Fatal("surviving page lost")
+	}
+	if err := as.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access beyond shrunk mapping did not fault")
+		}
+	}()
+	as.ReadWord(a + 6*mem.PageSize)
+}
+
+func TestMremapGrowInPlace(t *testing.T) {
+	as := newTestSpace(t)
+	a, err := as.Mmap(4*mem.PageSize, ProtRW, KindAnon, "buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing maps below a (mmap grows down), so in-place growth into
+	// [a-?,?]... growth extends upward past End: the range above `a+4p` is
+	// the previously-allocated region or free top space. Map at top first,
+	// then a second mapping directly below it; growing the lower one in
+	// place must fail and move instead, while growing the TOP one (nothing
+	// above within the old gap)... keep it simple: grow the first mapping
+	// ever created, whose upward neighbourhood is MmapTop (occupied by
+	// nothing only if it was the first). Here `a` is below earlier test
+	// regions, so growth succeeds only if the range is free.
+	as.WriteWord(a, 42)
+	got, err := as.Mremap(a, 4*mem.PageSize, 6*mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := as.FindVMA(got)
+	if !ok || v.Pages() < 6 {
+		t.Fatalf("grown mapping wrong: %+v", v)
+	}
+	if as.ReadWord(got) != 42 {
+		t.Fatal("contents lost on grow")
+	}
+	if err := as.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMremapGrowMovesWhenBlocked(t *testing.T) {
+	as := newTestSpace(t)
+	// Two adjacent mappings: growing the lower one must move it.
+	upper, err := as.Mmap(2*mem.PageSize, ProtRW, KindFile, "upper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower, err := as.Mmap(2*mem.PageSize, ProtRW, KindFile, "lower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lower+2*mem.PageSize != upper {
+		t.Fatalf("expected adjacency: lower=%v upper=%v", lower, upper)
+	}
+	as.WriteWord(lower, 7)
+	as.WriteWord(lower+mem.PageSize, 8)
+	got, err := as.Mremap(lower, 2*mem.PageSize, 4*mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == lower {
+		t.Fatal("blocked grow did not move")
+	}
+	if as.ReadWord(got) != 7 || as.ReadWord(got+mem.PageSize) != 8 {
+		t.Fatal("contents not migrated")
+	}
+	if _, ok := as.FindVMA(lower); ok {
+		t.Fatal("old range still mapped after move")
+	}
+	if err := as.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMremapErrors(t *testing.T) {
+	as := newTestSpace(t)
+	if _, err := as.Mremap(0xdead000, mem.PageSize, 2*mem.PageSize); err == nil {
+		t.Fatal("mremap of unmapped range succeeded")
+	}
+	a, _ := as.Mmap(2*mem.PageSize, ProtRW, KindAnon, "")
+	if _, err := as.Mremap(a+8, mem.PageSize, 2*mem.PageSize); err == nil {
+		t.Fatal("unaligned mremap succeeded")
+	}
+	if _, err := as.Mremap(a, 0, mem.PageSize); err == nil {
+		t.Fatal("zero old size accepted")
+	}
+	// Same size is a no-op.
+	got, err := as.Mremap(a, 2*mem.PageSize, 2*mem.PageSize)
+	if err != nil || got != a {
+		t.Fatalf("same-size mremap: %v, %v", got, err)
+	}
+}

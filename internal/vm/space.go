@@ -1,0 +1,478 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"groundhog/internal/mem"
+	"groundhog/internal/sim"
+)
+
+// Standard address-space layout constants. The specific values only need to
+// be ordered and far apart; they echo the conventional x86-64 layout so that
+// rendered /proc maps look familiar.
+const (
+	TextBase Addr = 0x0000000000400000
+	// MmapTop is the top of the mmap area; mappings grow downward from it.
+	MmapTop Addr = 0x00007f8000000000
+	// StackTop is the top of the initial thread stack.
+	StackTop Addr = 0x00007ffffffff000
+	// DefaultStackBytes is the initial stack reservation.
+	DefaultStackBytes = 8 << 20
+)
+
+// PTE is a page-table entry. A PTE exists only for resident pages; absence
+// from the table means the page is unbacked and faults on first touch.
+type PTE struct {
+	Frame mem.FrameID
+	// SoftDirty records that the page was written since the last
+	// ClearSoftDirty (the kernel's soft-dirty bit, §4.3 of the paper).
+	SoftDirty bool
+	// wpArmed means the page is write-protected so the next write takes a
+	// minor fault that sets SoftDirty. ClearSoftDirty arms it.
+	wpArmed bool
+	// cow means the frame may be shared with another address space and
+	// must be copied before writing.
+	cow bool
+	// tlbCold means this address space has not touched the page since a
+	// fork, so the first access pays the FirstTouch cost.
+	tlbCold bool
+}
+
+// CoW reports whether the entry currently shares its frame copy-on-write.
+func (p PTE) CoW() bool { return p.cow }
+
+// AddressSpace is one process's virtual memory: a sorted list of VMAs and a
+// sparse page table. It is not safe for concurrent use.
+type AddressSpace struct {
+	phys  *mem.PhysMem
+	costs Costs
+	meter *sim.Meter
+
+	vmas  []VMA          // sorted by Start, non-overlapping
+	pages map[uint64]PTE // vpn -> PTE
+
+	brkBase Addr // start of the heap region (fixed)
+	brk     Addr // current program break (page-aligned here)
+
+	mmapNext Addr // next mmap allocation (grows downward)
+
+	// uffd selects userfaultfd-style write tracking: armed write faults
+	// are delivered to a user-space handler (more expensive per fault)
+	// instead of being absorbed in the kernel as soft-dirty updates.
+	uffd bool
+
+	faults FaultStats
+}
+
+// New returns an empty address space backed by phys with the given cost
+// table.
+func New(phys *mem.PhysMem, costs Costs) *AddressSpace {
+	return &AddressSpace{
+		phys:     phys,
+		costs:    costs,
+		pages:    make(map[uint64]PTE),
+		mmapNext: MmapTop,
+	}
+}
+
+// Phys returns the backing physical memory pool.
+func (as *AddressSpace) Phys() *mem.PhysMem { return as.phys }
+
+// SetMeter attaches a cost meter; nil detaches. Subsequent faults and
+// accesses charge to it.
+func (as *AddressSpace) SetMeter(m *sim.Meter) { as.meter = m }
+
+// Meter returns the attached cost meter (possibly nil).
+func (as *AddressSpace) Meter() *sim.Meter { return as.meter }
+
+// Costs returns the active cost table.
+func (as *AddressSpace) Costs() Costs { return as.costs }
+
+// Faults returns the cumulative fault counters.
+func (as *AddressSpace) Faults() FaultStats { return as.faults }
+
+// ResetFaults zeroes the fault counters (used between measured requests).
+func (as *AddressSpace) ResetFaults() { as.faults = FaultStats{} }
+
+// SetUffdTracking selects userfaultfd-style write tracking (see
+// Costs.UffdFault). Soft-dirty bookkeeping is unchanged; only the per-fault
+// cost and the manager's collection strategy differ.
+func (as *AddressSpace) SetUffdTracking(on bool) { as.uffd = on }
+
+// UffdTracking reports whether UFFD tracking is selected.
+func (as *AddressSpace) UffdTracking() bool { return as.uffd }
+
+// charge is the nil-safe meter helper.
+func (as *AddressSpace) charge(d sim.Duration) { sim.ChargeTo(as.meter, d) }
+
+// --- VMA list management -------------------------------------------------
+
+// VMAs returns a copy of the region list, sorted by start address.
+func (as *AddressSpace) VMAs() []VMA {
+	out := make([]VMA, len(as.vmas))
+	copy(out, as.vmas)
+	return out
+}
+
+// NumVMAs returns the number of regions.
+func (as *AddressSpace) NumVMAs() int { return len(as.vmas) }
+
+// FindVMA returns the region containing a, if any.
+func (as *AddressSpace) FindVMA(a Addr) (VMA, bool) {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].End > a })
+	if i < len(as.vmas) && as.vmas[i].Contains(a) {
+		return as.vmas[i], true
+	}
+	return VMA{}, false
+}
+
+// insertVMA adds a region, keeping the list sorted. It fails if the region
+// overlaps an existing one. Adjacent regions with identical attributes merge
+// into one, as the Linux mm does — this keeps the region list canonical so
+// that reverting an operation (e.g. an mprotect undone by the restorer)
+// reproduces the original list exactly.
+func (as *AddressSpace) insertVMA(v VMA) error {
+	if err := v.validate(); err != nil {
+		return err
+	}
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].Start >= v.Start })
+	if i > 0 && as.vmas[i-1].Overlaps(v) {
+		return fmt.Errorf("vm: %v overlaps %v", v, as.vmas[i-1])
+	}
+	if i < len(as.vmas) && as.vmas[i].Overlaps(v) {
+		return fmt.Errorf("vm: %v overlaps %v", v, as.vmas[i])
+	}
+	// Merge with the left and/or right neighbor when contiguous and
+	// attribute-compatible.
+	mergeLeft := i > 0 && as.vmas[i-1].End == v.Start && as.vmas[i-1].SameAttrs(v)
+	mergeRight := i < len(as.vmas) && v.End == as.vmas[i].Start && v.SameAttrs(as.vmas[i])
+	switch {
+	case mergeLeft && mergeRight:
+		as.vmas[i-1].End = as.vmas[i].End
+		as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
+	case mergeLeft:
+		as.vmas[i-1].End = v.End
+	case mergeRight:
+		as.vmas[i].Start = v.Start
+	default:
+		as.vmas = append(as.vmas, VMA{})
+		copy(as.vmas[i+1:], as.vmas[i:])
+		as.vmas[i] = v
+	}
+	return nil
+}
+
+// carve removes [start, end) from the region list, splitting any VMAs that
+// straddle the boundary. It returns the removed sub-regions. Unmapped gaps
+// inside the range are permitted (as with munmap).
+func (as *AddressSpace) carve(start, end Addr) []VMA {
+	var removed []VMA
+	var kept []VMA
+	for _, v := range as.vmas {
+		switch {
+		case v.End <= start || v.Start >= end:
+			kept = append(kept, v)
+		default:
+			// Overlapping: keep the parts outside [start, end).
+			if v.Start < start {
+				left := v
+				left.End = start
+				kept = append(kept, left)
+			}
+			if v.End > end {
+				right := v
+				right.Start = end
+				kept = append(kept, right)
+			}
+			mid := v
+			if mid.Start < start {
+				mid.Start = start
+			}
+			if mid.End > end {
+				mid.End = end
+			}
+			removed = append(removed, mid)
+		}
+	}
+	as.vmas = kept
+	return removed
+}
+
+// MappedPages returns the total number of pages covered by VMAs (the mapped
+// address-space size the paper plots on the x-axis of Fig. 3 right).
+func (as *AddressSpace) MappedPages() int {
+	n := 0
+	for _, v := range as.vmas {
+		n += v.Pages()
+	}
+	return n
+}
+
+// ResidentPages returns the number of pages with a backing frame (RSS).
+func (as *AddressSpace) ResidentPages() int { return len(as.pages) }
+
+// --- access path ----------------------------------------------------------
+
+// SegfaultError describes an access outside any region or violating its
+// protection. Accesses panic with this type; the simulated kernel treats it
+// as a fatal signal for the process, exactly as a real segfault would be.
+type SegfaultError struct {
+	Addr  Addr
+	Write bool
+}
+
+func (e SegfaultError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("vm: segfault on %s at %s", op, e.Addr)
+}
+
+// resolve returns the VMA for an access, panicking with SegfaultError on
+// violation.
+func (as *AddressSpace) resolve(a Addr, write bool) VMA {
+	v, ok := as.FindVMA(a)
+	if !ok {
+		panic(SegfaultError{Addr: a, Write: write})
+	}
+	need := ProtRead
+	if write {
+		need = ProtWrite
+	}
+	if v.Prot&need == 0 {
+		panic(SegfaultError{Addr: a, Write: write})
+	}
+	return v
+}
+
+// fault ensures a resident, writable-as-needed PTE for vpn, charging fault
+// costs. It implements the demand-zero, CoW and soft-dirty fault paths.
+func (as *AddressSpace) fault(vpn uint64, write bool) PTE {
+	pte, ok := as.pages[vpn]
+	if !ok {
+		// Demand-zero minor fault.
+		pte = PTE{Frame: as.phys.Alloc()}
+		as.faults.Minor++
+		as.charge(as.costs.MinorFault)
+	}
+	if pte.tlbCold {
+		as.faults.FirstTouch++
+		as.charge(as.costs.FirstTouch)
+		pte.tlbCold = false
+	}
+	if write {
+		if pte.cow {
+			if as.phys.Refs(pte.Frame) > 1 {
+				// Copy-on-write: clone and drop our reference to the
+				// shared frame.
+				newFrame := as.phys.Clone(pte.Frame)
+				as.phys.Unref(pte.Frame)
+				pte.Frame = newFrame
+				as.faults.CoW++
+				as.charge(as.costs.CoWFault)
+			}
+			// Sole owner: reuse the frame in place (Linux does the same).
+			pte.cow = false
+		}
+		if pte.wpArmed {
+			// Write-protect arming fault: the page was protected by
+			// ClearSoftDirty; the first write records the dirty bit. Under
+			// UFFD tracking the fault is serviced in user space and costs
+			// considerably more.
+			as.faults.SoftDirty++
+			if as.uffd {
+				as.charge(as.costs.UffdFault)
+			} else {
+				as.charge(as.costs.SoftDirtyFault)
+			}
+			pte.wpArmed = false
+		}
+		pte.SoftDirty = true
+	}
+	as.pages[vpn] = pte
+	return pte
+}
+
+// ReadWord loads the 8-byte word at a, taking faults as needed.
+func (as *AddressSpace) ReadWord(a Addr) uint64 {
+	as.resolve(a, false)
+	pte := as.fault(a.PageNum(), false)
+	as.charge(as.costs.ReadWord)
+	return as.phys.ReadWord(pte.Frame, a.PageOff())
+}
+
+// WriteWord stores the 8-byte word v at a, taking faults as needed.
+func (as *AddressSpace) WriteWord(a Addr, v uint64) {
+	as.resolve(a, true)
+	pte := as.fault(a.PageNum(), true)
+	as.charge(as.costs.WriteWord)
+	as.phys.WriteWord(pte.Frame, a.PageOff(), v)
+}
+
+// TouchPage reads one byte's worth of a page (used by workloads that scan
+// their address space); it takes the read fault path without the per-word
+// charge being repeated.
+func (as *AddressSpace) TouchPage(vpn uint64) {
+	a := PageAddr(vpn)
+	as.resolve(a, false)
+	as.fault(vpn, false)
+	as.charge(as.costs.ReadWord)
+}
+
+// DirtyPage writes one word at the start of a page (the microbenchmark's
+// "dirty a page" primitive from §5.2).
+func (as *AddressSpace) DirtyPage(vpn uint64, v uint64) {
+	as.WriteWord(PageAddr(vpn), v)
+}
+
+// --- kernel-side access (ptrace / process_vm) -----------------------------
+
+// PTEAt returns the page-table entry for vpn, if resident.
+func (as *AddressSpace) PTEAt(vpn uint64) (PTE, bool) {
+	pte, ok := as.pages[vpn]
+	return pte, ok
+}
+
+// ResidentVPNs returns the sorted list of resident virtual page numbers.
+func (as *AddressSpace) ResidentVPNs() []uint64 {
+	vpns := make([]uint64, 0, len(as.pages))
+	for vpn := range as.pages {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	return vpns
+}
+
+// PeekPage copies the contents of page vpn into a fresh buffer, or returns
+// nil if the page is all-zero or not resident. This is the kernel-side read
+// used by the snapshotter; it does not fault, charge, or perturb soft-dirty
+// state.
+func (as *AddressSpace) PeekPage(vpn uint64) []byte {
+	pte, ok := as.pages[vpn]
+	if !ok {
+		return nil
+	}
+	return as.phys.Snapshot(pte.Frame)
+}
+
+// PokePage overwrites page vpn with data (nil means all-zero), materializing
+// a private frame if needed. This is the kernel-side write used by the
+// restorer; it breaks CoW sharing without charging function-side fault costs
+// (the restorer accounts for its own copy costs) and leaves soft-dirty state
+// to the caller, which clears it afterwards exactly as Groundhog does.
+func (as *AddressSpace) PokePage(vpn uint64, data []byte) {
+	pte, ok := as.pages[vpn]
+	if !ok {
+		pte = PTE{Frame: as.phys.Alloc()}
+	} else if pte.cow && as.phys.Refs(pte.Frame) > 1 {
+		f := as.phys.Clone(pte.Frame)
+		as.phys.Unref(pte.Frame)
+		pte.Frame = f
+		pte.cow = false
+	} else {
+		pte.cow = false
+	}
+	as.phys.RestoreInto(pte.Frame, data)
+	as.pages[vpn] = pte
+}
+
+// ShareFrameCoW hands the caller a reference to vpn's backing frame and
+// marks the page copy-on-write: the process's next write takes a copying
+// fault, leaving the returned frame unmodified forever. This is the
+// primitive behind the §5.5 state-store optimization — the snapshot *is* the
+// frame, no eager copy. The caller owns one reference and must Unref it.
+func (as *AddressSpace) ShareFrameCoW(vpn uint64) (mem.FrameID, bool) {
+	pte, ok := as.pages[vpn]
+	if !ok {
+		return mem.NoFrame, false
+	}
+	as.phys.Ref(pte.Frame)
+	pte.cow = true
+	as.pages[vpn] = pte
+	return pte.Frame, true
+}
+
+// PokePageFromFrame overwrites page vpn with the contents of src (a frame
+// owned by the caller, e.g. a CoW state store). Like PokePage it is a
+// kernel-side write: no fault accounting, soft-dirty hygiene left to the
+// caller.
+func (as *AddressSpace) PokePageFromFrame(vpn uint64, src mem.FrameID) {
+	pte, ok := as.pages[vpn]
+	if !ok {
+		pte = PTE{Frame: as.phys.Alloc()}
+	} else if pte.cow && as.phys.Refs(pte.Frame) > 1 {
+		f := as.phys.Clone(pte.Frame)
+		as.phys.Unref(pte.Frame)
+		pte.Frame = f
+		pte.cow = false
+	} else {
+		pte.cow = false
+	}
+	as.phys.Copy(pte.Frame, src)
+	as.pages[vpn] = pte
+}
+
+// DropPage removes the backing frame for vpn if resident (madvise DONTNEED
+// semantics: the next touch demand-zero faults).
+func (as *AddressSpace) DropPage(vpn uint64) {
+	if pte, ok := as.pages[vpn]; ok {
+		as.phys.Unref(pte.Frame)
+		delete(as.pages, vpn)
+	}
+}
+
+// --- soft-dirty tracking ---------------------------------------------------
+
+// ClearSoftDirty clears every resident page's soft-dirty bit and write-
+// protects it so the next write faults and re-records the bit. It returns
+// the number of entries walked. This models writing "4" to
+// /proc/pid/clear_refs.
+func (as *AddressSpace) ClearSoftDirty() int {
+	for vpn, pte := range as.pages {
+		pte.SoftDirty = false
+		pte.wpArmed = true
+		as.pages[vpn] = pte
+	}
+	return len(as.pages)
+}
+
+// SoftDirtyVPNs returns the sorted page numbers whose soft-dirty bit is set.
+func (as *AddressSpace) SoftDirtyVPNs() []uint64 {
+	var vpns []uint64
+	for vpn, pte := range as.pages {
+		if pte.SoftDirty {
+			vpns = append(vpns, vpn)
+		}
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	return vpns
+}
+
+// --- invariants -------------------------------------------------------------
+
+// CheckInvariants validates internal consistency: sorted non-overlapping
+// page-aligned VMAs, every resident page inside some VMA, and brk within the
+// heap region. Tests call it after every mutation sequence.
+func (as *AddressSpace) CheckInvariants() error {
+	for i, v := range as.vmas {
+		if err := v.validate(); err != nil {
+			return err
+		}
+		if i > 0 && as.vmas[i-1].End > v.Start {
+			return fmt.Errorf("vm: VMAs out of order or overlapping: %v then %v", as.vmas[i-1], v)
+		}
+	}
+	for vpn := range as.pages {
+		if _, ok := as.FindVMA(PageAddr(vpn)); !ok {
+			return fmt.Errorf("vm: resident page %#x outside any VMA", vpn)
+		}
+	}
+	if as.brk != 0 {
+		if as.brk < as.brkBase {
+			return fmt.Errorf("vm: brk %v below heap base %v", as.brk, as.brkBase)
+		}
+	}
+	return nil
+}
