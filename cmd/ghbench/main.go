@@ -7,10 +7,12 @@
 //
 //	ghbench -e fig3-left            # one experiment
 //	ghbench -e all -quick           # everything, reduced scale
+//	ghbench -e bench-restore        # restore hot-path microbenchmark (+JSON)
 //	ghbench -list                   # enumerate experiments
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +28,7 @@ var experimentNames = []string{
 	"fig1", "fig3-left", "fig3-right", "fig4", "fig5", "fig6", "fig7", "fig8",
 	"table1", "table2", "table3", "headline",
 	"ablation-uffd", "ablation-coalesce", "ablation-trust", "ablation-statestore",
-	"ablation-timevirt", "loadsweep", "related-work", "fleet",
+	"ablation-timevirt", "loadsweep", "related-work", "fleet", "bench-restore",
 }
 
 func main() {
@@ -37,6 +39,8 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "simulation seed")
 		list  = flag.Bool("list", false, "list experiments and exit")
 	)
+	flag.StringVar(&restoreJSONPath, "restore-json", "BENCH_restore.json",
+		"output path for the bench-restore JSON summary (empty disables)")
 	flag.Parse()
 
 	if *list {
@@ -64,7 +68,7 @@ func main() {
 	if *exp == "all" {
 		names = experimentNames
 	}
-	if err := run(cfg, names); err != nil {
+	if err := run(cfg, names, *quick); err != nil {
 		fmt.Fprintf(os.Stderr, "ghbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -72,7 +76,7 @@ func main() {
 
 // run executes the named experiments, computing the shared 58-benchmark
 // dataset at most once.
-func run(cfg experiments.Config, names []string) error {
+func run(cfg experiments.Config, names []string, quick bool) error {
 	var ds *experiments.Dataset
 	dataset := func() (*experiments.Dataset, error) {
 		if ds != nil {
@@ -159,6 +163,8 @@ func run(cfg experiments.Config, names []string) error {
 			tb, err = experiments.Fleet(cfg)
 		case "ablation-timevirt":
 			tb, err = experiments.AblationTimeVirt(cfg)
+		case "bench-restore":
+			tb, err = benchRestore(cfg, quick)
 		default:
 			return fmt.Errorf("unknown experiment %q (try -list)", name)
 		}
@@ -168,4 +174,32 @@ func run(cfg experiments.Config, names []string) error {
 		fmt.Println(tb.Render())
 	}
 	return nil
+}
+
+// restoreJSONPath is where benchRestore writes its machine-readable summary.
+var restoreJSONPath string
+
+// benchRestore runs the steady-state restore microbenchmark and writes
+// BENCH_restore.json next to the console table, so CI and scripts can track
+// the hot path's wall time and allocation rate across commits.
+func benchRestore(cfg experiments.Config, quick bool) (*metrics.Table, error) {
+	heapPages, iters := 4096, 2000
+	if quick {
+		heapPages, iters = 1024, 500
+	}
+	res, err := experiments.RestoreBench(cfg, heapPages, 128, iters)
+	if err != nil {
+		return nil, err
+	}
+	if restoreJSONPath != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(restoreJSONPath, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "ghbench: wrote %s\n", restoreJSONPath)
+	}
+	return experiments.RestoreBenchTable(res), nil
 }

@@ -108,8 +108,8 @@ func run(pages, dirty, threads int, tracker, store string, coalesce bool, churnO
 	fmt.Printf("\nrestore: %v total — %d/%d pages dirty, %d restored, %d dropped, %d layout syscalls\n",
 		st.Total, st.DirtyPages, st.MappedPages, st.RestoredPages, st.DroppedPages, st.LayoutOps)
 	fmt.Println("\nphase breakdown (Fig. 8 legend order):")
-	for _, ph := range core.Phases {
-		d := st.PhaseDurations[ph]
+	for i, ph := range core.Phases {
+		d := st.PhaseDurations[i]
 		pct := 0.0
 		if st.Total > 0 {
 			pct = 100 * float64(d) / float64(st.Total)

@@ -18,4 +18,38 @@
 // The full-scale figures come from the CLI:
 //
 //	go run ./cmd/ghbench -e all
+//
+// # The restore fast path
+//
+// Restore cost is the system's product (§4.4): it must be proportional to
+// what a request actually dirtied. The manager therefore keeps its snapshot
+// in an arena-backed StateStore — a sorted VPN index over one contiguous byte
+// arena (plus a parallel frame slice for the copy-on-write store of §5.5) —
+// so membership tests are binary searches, page contents are slice views,
+// and snapshot memory is a handful of allocations rather than one small
+// buffer per page:
+//
+//	vpns   [v0 v1 v2 ...]          sorted page numbers (the index)
+//	off    [o0 -1 o1 ...]          arena offset per page, -1 = all-zero
+//	arena  [page0 | page2 | ...]   one contiguous allocation
+//
+// Restore itself is run-oriented and allocation-free at steady state: the
+// current layout is read into a reusable region buffer (procfs.MapsRegions),
+// page metadata is scanned one VMA at a time (procfs.PagemapRange) instead of
+// materializing a full-address-space flag slice, the dirty list is merged
+// against the sorted VPN index with linear scans, and maximal runs of
+// contiguous pages are copied back with single batched pokes
+// (vm.AddressSpace.PokePageRun / mem.PhysMem.RestoreRun) straight out of the
+// arena. After the first restore has sized the manager's scratch buffers,
+// rolling back a request that dirtied pages without changing the memory
+// layout performs zero heap allocations — a property pinned by
+// TestRestoreSteadyStateZeroAllocs and observable with:
+//
+//	go test ./internal/core/ -bench=BenchmarkRestoreSteadyState -benchmem
+//
+// The same scenario is exported as a CLI microbenchmark that also writes a
+// machine-readable BENCH_restore.json (wall ns/restore, allocs/restore,
+// virtual µs/restore, page counters) for tracking across commits:
+//
+//	go run ./cmd/ghbench -e bench-restore
 package groundhog

@@ -1,0 +1,3 @@
+module groundhog
+
+go 1.24

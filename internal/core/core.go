@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"groundhog/internal/kernel"
 	"groundhog/internal/mem"
@@ -45,10 +46,26 @@ const (
 )
 
 // Phases lists the restore phases in execution (and Fig. 8 legend) order.
-var Phases = []string{
+var Phases = [...]string{
 	PhaseInterrupt, PhaseReadMaps, PhaseScanPages, PhaseDiff,
 	PhaseBrk, PhaseMmap, PhaseMunmap, PhaseMadvise, PhaseMprotect,
 	PhaseRestoreMem, PhaseClearSD, PhaseRestoreRegs, PhaseDetach,
+}
+
+// PhaseBreakdown carries one duration per Phases entry, in the same order.
+// It is a fixed-size value (not a map) so that returning RestoreStats from
+// the restore hot path allocates nothing.
+type PhaseBreakdown [len(Phases)]sim.Duration
+
+// Of returns the duration recorded for the named phase (zero for names not
+// in Phases).
+func (b *PhaseBreakdown) Of(name string) sim.Duration {
+	for i, ph := range Phases {
+		if ph == name {
+			return b[i]
+		}
+	}
+	return 0
 }
 
 // TrackerKind selects the write-tracking mechanism.
@@ -121,8 +138,9 @@ type SnapshotStats struct {
 // counters of Table 3).
 type RestoreStats struct {
 	Total sim.Duration
-	// PhaseDurations maps each Phases entry to its share of Total.
-	PhaseDurations map[string]sim.Duration
+	// PhaseDurations holds each Phases entry's share of Total, indexed in
+	// Phases order (PhaseDurations.Of(name) looks up by phase name).
+	PhaseDurations PhaseBreakdown
 	// MappedPages is the number of pages scanned in the pagemap.
 	MappedPages int
 	// DirtyPages is the number of soft-dirty pages found.
@@ -136,82 +154,16 @@ type RestoreStats struct {
 	LayoutOps int
 }
 
-// snapshot is the StateStore: everything needed to put the process back,
-// held in the manager's memory (never serialized to disk — the property
-// that distinguishes Groundhog from CRIU-style approaches, §6).
+// snapshot is everything needed to put the process back, held in the
+// manager's memory (never serialized to disk — the property that
+// distinguishes Groundhog from CRIU-style approaches, §6). Page contents
+// live in the arena-backed stateStore.
 type snapshot struct {
 	layout []vm.VMA
 	brk    vm.Addr
 	regs   map[int]kernel.Regs // by TID
-	// pages holds the contents of every resident page at snapshot time
-	// (StoreCopy); nil slices are all-zero pages.
-	pages map[uint64][]byte
-	// frames holds CoW-shared frame references instead (StoreCoW); the
-	// store owns one reference per entry.
-	frames map[uint64]mem.FrameID
-	// order is the sorted page list, for deterministic iteration.
-	order []uint64
-	stats SnapshotStats
-}
-
-// has reports whether the snapshot recorded page vpn.
-func (s *snapshot) has(vpn uint64) bool {
-	if s.frames != nil {
-		_, ok := s.frames[vpn]
-		return ok
-	}
-	_, ok := s.pages[vpn]
-	return ok
-}
-
-// content returns the recorded bytes of page vpn (nil = all-zero).
-func (s *snapshot) content(vpn uint64, phys *mem.PhysMem) []byte {
-	if s.frames != nil {
-		if f, ok := s.frames[vpn]; ok {
-			return phys.Snapshot(f)
-		}
-		return nil
-	}
-	return s.pages[vpn]
-}
-
-// zeroContent reports whether the recorded page is all-zero without
-// materializing a copy.
-func (s *snapshot) zeroContent(vpn uint64, phys *mem.PhysMem) bool {
-	if s.frames != nil {
-		f, ok := s.frames[vpn]
-		return !ok || phys.Bytes(f) == 0
-	}
-	return s.pages[vpn] == nil
-}
-
-// release drops the store's frame references (StoreCoW) when the snapshot
-// is replaced.
-func (s *snapshot) release(phys *mem.PhysMem) {
-	for _, f := range s.frames {
-		phys.Unref(f)
-	}
-	s.frames = nil
-}
-
-// bytes reports the StateStore's materialized memory: for StoreCopy, the
-// copied page contents; for StoreCoW, only frames that have diverged from
-// the function (the function copied away on write), i.e. memory
-// proportional to the pages ever dirtied (§5.5).
-func (s *snapshot) bytes(phys *mem.PhysMem) int {
-	total := 0
-	if s.frames != nil {
-		for _, f := range s.frames {
-			if phys.Refs(f) == 1 {
-				total += phys.Bytes(f)
-			}
-		}
-		return total
-	}
-	for _, data := range s.pages {
-		total += len(data)
-	}
-	return total
+	store  stateStore
+	stats  SnapshotStats
 }
 
 // Manager is the Groundhog manager process for one function process
@@ -225,6 +177,10 @@ type Manager struct {
 
 	tracer *ptrace.Tracer
 	snap   *snapshot
+
+	// scratch holds the reusable buffers that make steady-state Restore
+	// allocation-free; see restoreScratch.
+	scratch restoreScratch
 }
 
 // NewManager attaches a manager to the function process. The process should
@@ -259,6 +215,12 @@ func (m *Manager) SnapshotStats() SnapshotStats {
 // threads, reads the memory map, copies every resident page into the
 // StateStore, saves registers and the program break, arms write tracking,
 // and resumes the process.
+//
+// Page contents land in one contiguous arena (or, for StoreCoW, a frame
+// reference slice) indexed by a sorted VPN list, and the pagemap is read one
+// VMA at a time rather than as a single full-address-space flag slice — so a
+// snapshot of an 85k-page runtime costs a handful of allocations rather than
+// one per page.
 func (m *Manager) TakeSnapshot() (SnapshotStats, error) {
 	meter := sim.NewMeter()
 	m.tracer.SetMeter(meter)
@@ -268,50 +230,71 @@ func (m *Manager) TakeSnapshot() (SnapshotStats, error) {
 		return SnapshotStats{}, err
 	}
 
-	// (b) scan /proc: memory regions and page metadata.
+	// (b) scan /proc: memory regions. The one-time snapshot keeps the
+	// render-and-parse text path, exercising the same userspace boundary
+	// the real system reads /proc/pid/maps through.
 	mapsText := m.fs.Maps(m.proc, meter)
 	layout, err := procfs.ParseMaps(mapsText)
 	if err != nil {
 		return SnapshotStats{}, fmt.Errorf("core: snapshot maps: %w", err)
 	}
-	flags := m.fs.Pagemap(m.proc, meter)
 
-	// (c) record resident pages in the StateStore: eager copies, or CoW
-	// frame shares (§5.5) that defer the copy to the function's first
-	// write of each page.
+	// (c) record resident pages in the StateStore: eager copies into the
+	// arena, or CoW frame shares (§5.5) that defer the copy to the
+	// function's first write of each page. Page metadata is read with
+	// VMA-scoped pagemap scans, reusing one flags buffer across regions.
 	snap := &snapshot{
 		layout: layout,
 		regs:   make(map[int]kernel.Regs),
 	}
 	sim.ChargeTo(meter, m.kern.Cost.SnapshotBase)
+	resident := m.proc.AS.ResidentPages()
+	st := &snap.store
+	st.vpns = make([]uint64, 0, resident)
+	var flags []procfs.PageFlags
 	switch m.opts.Store {
 	case StoreCoW:
-		snap.frames = make(map[uint64]mem.FrameID)
-		for _, pf := range flags {
-			if !pf.Present {
-				continue
+		st.frames = make([]mem.FrameID, 0, resident)
+		for _, v := range layout {
+			flags = m.fs.PagemapRange(m.proc, v.Start, v.End, meter, flags[:0])
+			for _, pf := range flags {
+				if !pf.Present {
+					continue
+				}
+				f, ok := m.proc.AS.ShareFrameCoW(pf.VPN)
+				if !ok {
+					return SnapshotStats{}, fmt.Errorf("core: page %#x vanished during snapshot", pf.VPN)
+				}
+				st.vpns = append(st.vpns, pf.VPN)
+				st.frames = append(st.frames, f)
+				sim.ChargeTo(meter, m.kern.Cost.SnapshotCoWPerPage)
 			}
-			f, ok := m.proc.AS.ShareFrameCoW(pf.VPN)
-			if !ok {
-				return SnapshotStats{}, fmt.Errorf("core: page %#x vanished during snapshot", pf.VPN)
-			}
-			snap.frames[pf.VPN] = f
-			snap.order = append(snap.order, pf.VPN)
-			sim.ChargeTo(meter, m.kern.Cost.SnapshotCoWPerPage)
 		}
 	default:
-		snap.pages = make(map[uint64][]byte)
-		for _, pf := range flags {
-			if !pf.Present {
-				continue
+		st.off = make([]int, 0, resident)
+		st.arena = make([]byte, 0, resident*mem.PageSize)
+		for _, v := range layout {
+			flags = m.fs.PagemapRange(m.proc, v.Start, v.End, meter, flags[:0])
+			for _, pf := range flags {
+				if !pf.Present {
+					continue
+				}
+				off := len(st.arena)
+				st.arena = slices.Grow(st.arena, mem.PageSize)[:off+mem.PageSize]
+				zero, ok, err := m.tracer.PeekPageInto(pf.VPN, st.arena[off:])
+				if err != nil {
+					return SnapshotStats{}, err
+				}
+				if !ok || zero {
+					// All-zero (or vanished) pages take no arena bytes; the
+					// old map-based store recorded them as nil the same way.
+					st.arena = st.arena[:off]
+					off = -1
+				}
+				st.vpns = append(st.vpns, pf.VPN)
+				st.off = append(st.off, off)
+				sim.ChargeTo(meter, m.kern.Cost.SnapshotPerPage)
 			}
-			data, err := m.tracer.PeekPage(pf.VPN)
-			if err != nil {
-				return SnapshotStats{}, err
-			}
-			snap.pages[pf.VPN] = data
-			snap.order = append(snap.order, pf.VPN)
-			sim.ChargeTo(meter, m.kern.Cost.SnapshotPerPage)
 		}
 	}
 
@@ -335,11 +318,11 @@ func (m *Manager) TakeSnapshot() (SnapshotStats, error) {
 
 	snap.stats = SnapshotStats{
 		Duration: meter.Total(),
-		Pages:    len(snap.order),
+		Pages:    snap.store.len(),
 		VMAs:     len(layout),
 	}
 	if m.snap != nil {
-		m.snap.release(m.kern.Phys)
+		m.snap.store.release(m.kern.Phys)
 	}
 	m.snap = snap
 	return snap.stats, nil
@@ -352,5 +335,5 @@ func (m *Manager) StateStoreBytes() int {
 	if m.snap == nil {
 		return 0
 	}
-	return m.snap.bytes(m.kern.Phys)
+	return m.snap.store.bytes(m.kern.Phys)
 }

@@ -297,14 +297,14 @@ func TestRestorePhaseBreakdownSumsToTotal(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sum sim.Duration
-	for _, ph := range Phases {
-		sum += st.PhaseDurations[ph]
+	for i := range Phases {
+		sum += st.PhaseDurations[i]
 	}
 	if sum != st.Total {
 		t.Fatalf("phases sum to %v, total is %v", sum, st.Total)
 	}
 	for _, must := range []string{PhaseInterrupt, PhaseReadMaps, PhaseScanPages, PhaseRestoreMem, PhaseClearSD, PhaseDetach} {
-		if st.PhaseDurations[must] <= 0 {
+		if st.PhaseDurations.Of(must) <= 0 {
 			t.Fatalf("phase %q has no cost: %+v", must, st.PhaseDurations)
 		}
 	}
@@ -322,7 +322,7 @@ func TestRestoreCostProportionalToDirtyPages(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return st.PhaseDurations[PhaseRestoreMem]
+		return st.PhaseDurations.Of(PhaseRestoreMem)
 	}
 	small := dirtyAndRestore(8)
 	large := dirtyAndRestore(64)
@@ -344,7 +344,7 @@ func TestCoalescingCheapensContiguousRestores(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return st.PhaseDurations[PhaseRestoreMem]
+		return st.PhaseDurations.Of(PhaseRestoreMem)
 	}
 	with, without := run(true), run(false)
 	if with >= without {
@@ -365,9 +365,9 @@ func TestUffdTrackerSkipsFullScan(t *testing.T) {
 	}
 	sd := mkStats(TrackSoftDirty)
 	uffd := mkStats(TrackUffd)
-	if uffd.PhaseDurations[PhaseScanPages] >= sd.PhaseDurations[PhaseScanPages] {
+	if uffd.PhaseDurations.Of(PhaseScanPages) >= sd.PhaseDurations.Of(PhaseScanPages) {
 		t.Fatalf("UFFD scan %v not cheaper than SD scan %v",
-			uffd.PhaseDurations[PhaseScanPages], sd.PhaseDurations[PhaseScanPages])
+			uffd.PhaseDurations.Of(PhaseScanPages), sd.PhaseDurations.Of(PhaseScanPages))
 	}
 	if sd.DirtyPages != 1 || uffd.DirtyPages != 1 {
 		t.Fatalf("dirty counts: sd=%d uffd=%d", sd.DirtyPages, uffd.DirtyPages)

@@ -2,8 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
+	"groundhog/internal/mem"
 	"groundhog/internal/procfs"
 	"groundhog/internal/sim"
 	"groundhog/internal/vm"
@@ -11,7 +12,8 @@ import (
 
 // layoutDiff is the plan computed by diffing the current memory layout
 // against the snapshot (§4.4: "grown, shrunk, merged, split, deleted, new
-// memory regions").
+// memory regions"). Its slices alias the diffScratch that produced it and
+// are valid until the next diff.
 type layoutDiff struct {
 	unmap     []vm.VMA // present now, absent in snapshot
 	remap     []vm.VMA // absent now, present in snapshot (attrs from snapshot)
@@ -27,64 +29,91 @@ func (d *layoutDiff) ops() int {
 	return n
 }
 
-// diffLayouts compares region lists with a boundary sweep. Both lists must
-// be sorted by start address (as /proc maps and vm.VMAs always are). Heap
+// diffScratch holds the reusable buffers of the layout diff so the restore
+// hot path computes it without allocating.
+type diffScratch struct {
+	cuts      []vm.Addr
+	unmap     []vm.VMA
+	remap     []vm.VMA
+	reprotect []vm.VMA
+}
+
+// lookupVMA returns the region of a sorted layout containing a. It is a
+// hand-rolled binary search (no sort.Search closure) so the restore hot path
+// stays allocation-free.
+func lookupVMA(layout []vm.VMA, a vm.Addr) (vm.VMA, bool) {
+	lo, hi := 0, len(layout)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if layout[mid].End > a {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo < len(layout) && layout[lo].Contains(a) {
+		return layout[lo], true
+	}
+	return vm.VMA{}, false
+}
+
+// appendRun appends interval v to list, merging with the previous interval
+// when contiguous and attribute-compatible so one syscall covers a whole
+// changed range.
+func appendRun(list []vm.VMA, v vm.VMA) []vm.VMA {
+	if n := len(list); n > 0 && list[n-1].End == v.Start && list[n-1].SameAttrs(v) {
+		list[n-1].End = v.End
+		return list
+	}
+	return append(list, v)
+}
+
+// diff compares region lists with a boundary sweep. Both lists must be
+// sorted by start address (as /proc maps and vm.VMAs always are). Heap
 // growth and shrinkage are left to the brk injection, but heap protection
 // changes are reverted like any other region's.
-func diffLayouts(cur, snap []vm.VMA) layoutDiff {
-	type attrs struct {
-		prot vm.Prot
-		kind vm.Kind
-		name string
-		ok   bool
-	}
-
+func (sc *diffScratch) diff(cur, snap []vm.VMA) layoutDiff {
 	// Collect every boundary.
-	var cuts []vm.Addr
-	for _, v := range append(append([]vm.VMA{}, cur...), snap...) {
-		cuts = append(cuts, v.Start, v.End)
+	sc.cuts = sc.cuts[:0]
+	for _, v := range cur {
+		sc.cuts = append(sc.cuts, v.Start, v.End)
 	}
-	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
-	cuts = dedupAddrs(cuts)
-
-	lookup := func(layout []vm.VMA, a vm.Addr) attrs {
-		i := sort.Search(len(layout), func(i int) bool { return layout[i].End > a })
-		if i < len(layout) && layout[i].Contains(a) {
-			v := layout[i]
-			return attrs{prot: v.Prot, kind: v.Kind, name: v.Name, ok: true}
-		}
-		return attrs{}
+	for _, v := range snap {
+		sc.cuts = append(sc.cuts, v.Start, v.End)
 	}
+	slices.Sort(sc.cuts)
+	cuts := dedupAddrs(sc.cuts)
 
 	var d layoutDiff
-	appendRun := func(list []vm.VMA, v vm.VMA) []vm.VMA {
-		// Merge with the previous interval when contiguous and compatible,
-		// so one syscall covers a whole changed range.
-		if n := len(list); n > 0 && list[n-1].End == v.Start && list[n-1].SameAttrs(v) {
-			list[n-1].End = v.End
-			return list
-		}
-		return append(list, v)
-	}
+	sc.unmap, sc.remap, sc.reprotect = sc.unmap[:0], sc.remap[:0], sc.reprotect[:0]
 	for i := 0; i+1 < len(cuts); i++ {
 		lo, hi := cuts[i], cuts[i+1]
-		c, s := lookup(cur, lo), lookup(snap, lo)
+		c, cok := lookupVMA(cur, lo)
+		s, sok := lookupVMA(snap, lo)
 		switch {
-		case c.ok && !s.ok:
-			if c.kind == vm.KindHeap {
+		case cok && !sok:
+			if c.Kind == vm.KindHeap {
 				break // heap growth: reversed by the brk injection
 			}
-			d.unmap = appendRun(d.unmap, vm.VMA{Start: lo, End: hi, Prot: c.prot, Kind: c.kind, Name: c.name})
-		case !c.ok && s.ok:
-			if s.kind == vm.KindHeap {
+			sc.unmap = appendRun(sc.unmap, vm.VMA{Start: lo, End: hi, Prot: c.Prot, Kind: c.Kind, Name: c.Name})
+		case !cok && sok:
+			if s.Kind == vm.KindHeap {
 				break // heap shrinkage: reversed by the brk injection
 			}
-			d.remap = appendRun(d.remap, vm.VMA{Start: lo, End: hi, Prot: s.prot, Kind: s.kind, Name: s.name})
-		case c.ok && s.ok && (c.prot != s.prot):
-			d.reprotect = appendRun(d.reprotect, vm.VMA{Start: lo, End: hi, Prot: s.prot, Kind: s.kind, Name: s.name})
+			sc.remap = appendRun(sc.remap, vm.VMA{Start: lo, End: hi, Prot: s.Prot, Kind: s.Kind, Name: s.Name})
+		case cok && sok && (c.Prot != s.Prot):
+			sc.reprotect = appendRun(sc.reprotect, vm.VMA{Start: lo, End: hi, Prot: s.Prot, Kind: s.Kind, Name: s.Name})
 		}
 	}
+	d.unmap, d.remap, d.reprotect = sc.unmap, sc.remap, sc.reprotect
 	return d
+}
+
+// diffLayouts is the standalone form of diffScratch.diff, kept for tests and
+// one-shot callers.
+func diffLayouts(cur, snap []vm.VMA) layoutDiff {
+	var sc diffScratch
+	return sc.diff(cur, snap)
 }
 
 func dedupAddrs(in []vm.Addr) []vm.Addr {
@@ -103,28 +132,61 @@ type vpnRun struct {
 	n     int
 }
 
-// runsOf groups a sorted vpn list into maximal consecutive runs.
-func runsOf(vpns []uint64) []vpnRun {
-	var runs []vpnRun
+// appendRuns groups a sorted vpn list into maximal consecutive runs,
+// appending to dst (pass a reused dst[:0] to avoid allocating).
+func appendRuns(dst []vpnRun, vpns []uint64) []vpnRun {
 	for _, vpn := range vpns {
-		if n := len(runs); n > 0 && runs[n-1].start+uint64(runs[n-1].n) == vpn {
-			runs[n-1].n++
+		if n := len(dst); n > 0 && dst[n-1].start+uint64(dst[n-1].n) == vpn {
+			dst[n-1].n++
 			continue
 		}
-		runs = append(runs, vpnRun{start: vpn, n: 1})
+		dst = append(dst, vpnRun{start: vpn, n: 1})
 	}
-	return runs
+	return dst
+}
+
+// runsOf groups a sorted vpn list into maximal consecutive runs.
+func runsOf(vpns []uint64) []vpnRun {
+	return appendRuns(nil, vpns)
+}
+
+// restoreScratch holds every buffer the restore path reuses across calls.
+// After the first Restore has sized them, steady-state restores (requests
+// that dirty pages without changing the memory layout) under the default
+// soft-dirty tracker perform zero heap allocations — the property pinned by
+// TestRestoreSteadyStateZeroAllocs. (The UFFD ablation path still allocates:
+// it materializes sorted VPN slices per restore; see ROADMAP open items.)
+type restoreScratch struct {
+	meter   *sim.Meter
+	layout  []vm.VMA           // current memory map
+	flags   []procfs.PageFlags // one VMA's pagemap entries at a time
+	dirty   []uint64           // sorted soft-dirty VPNs
+	present []uint64           // sorted resident VPNs
+	fresh   []uint64           // resident, not in snapshot, inside surviving regions
+	restore []int              // store indices whose contents must be copied back
+	runs    []vpnRun           // coalesced madvise runs
+	diff    diffScratch
 }
 
 // Restore rolls the function process back to the snapshot (§4.4). It must
 // run between requests: the caller guarantees the function has returned its
 // response and is quiescent. The returned stats carry the per-phase
 // breakdown plotted in Fig. 8.
+//
+// The data path is run-oriented: sorted-slice merges against the snapshot's
+// VPN index replace hash-map membership tests, and contiguous dirty runs are
+// copied back with single batched pokes straight out of the StateStore arena.
+// All intermediate state lives in the manager's reusable scratch buffers.
 func (m *Manager) Restore() (RestoreStats, error) {
 	if m.snap == nil {
 		return RestoreStats{}, fmt.Errorf("core: restore before snapshot")
 	}
-	meter := sim.NewMeter()
+	sc := &m.scratch
+	if sc.meter == nil {
+		sc.meter = sim.NewMeter()
+	}
+	meter := sc.meter
+	meter.Reset()
 	m.tracer.SetMeter(meter)
 	defer m.tracer.SetMeter(nil)
 	as := m.proc.AS
@@ -135,37 +197,36 @@ func (m *Manager) Restore() (RestoreStats, error) {
 		return RestoreStats{}, err
 	}
 
-	// 2. Read the current memory map.
+	// 2. Read the current memory map (binary fast path into the reusable
+	// layout buffer; costs and contents identical to parsing the text form,
+	// as the procfs tests assert).
 	meter.BeginPhase(PhaseReadMaps)
-	mapsText := m.fs.Maps(m.proc, meter)
-	curLayout, err := procfs.ParseMaps(mapsText)
-	if err != nil {
-		return RestoreStats{}, fmt.Errorf("core: restore maps: %w", err)
-	}
+	sc.layout = m.fs.MapsRegions(m.proc, meter, sc.layout[:0])
+	curLayout := sc.layout
 
 	// 3. Scan page metadata: which pages are resident, which are dirty.
-	// Under soft-dirty tracking this walks the pagemap of the whole address
-	// space; under UFFD the dirty set was accumulated by the fault handler
-	// during the request, so the scan cost is per dirty page only.
+	// Under soft-dirty tracking this reads the pagemap one mapped region at
+	// a time (never materializing a full-address-space flag slice); under
+	// UFFD the dirty set was accumulated by the fault handler during the
+	// request, so the scan cost is per dirty page only.
 	meter.BeginPhase(PhaseScanPages)
-	var dirty []uint64
-	present := make(map[uint64]bool)
+	sc.dirty, sc.present = sc.dirty[:0], sc.present[:0]
 	var mappedPages int
 	if m.opts.Tracker == TrackUffd {
-		dirty = as.SoftDirtyVPNs()
-		for _, vpn := range as.ResidentVPNs() {
-			present[vpn] = true
-		}
+		sc.dirty = append(sc.dirty, as.SoftDirtyVPNs()...)
+		sc.present = append(sc.present, as.ResidentVPNs()...)
 		mappedPages = as.MappedPages()
-		sim.ChargeTo(meter, m.kern.Cost.PagemapPerPage*sim.Duration(len(dirty)))
+		sim.ChargeTo(meter, m.kern.Cost.PagemapPerPage*sim.Duration(len(sc.dirty)))
 	} else {
-		flags := m.fs.Pagemap(m.proc, meter)
-		mappedPages = len(flags)
-		for _, pf := range flags {
-			if pf.Present {
-				present[pf.VPN] = true
-				if pf.SoftDirty {
-					dirty = append(dirty, pf.VPN)
+		for _, v := range curLayout {
+			sc.flags = m.fs.PagemapRange(m.proc, v.Start, v.End, meter, sc.flags[:0])
+			mappedPages += len(sc.flags)
+			for _, pf := range sc.flags {
+				if pf.Present {
+					sc.present = append(sc.present, pf.VPN)
+					if pf.SoftDirty {
+						sc.dirty = append(sc.dirty, pf.VPN)
+					}
 				}
 			}
 		}
@@ -173,7 +234,7 @@ func (m *Manager) Restore() (RestoreStats, error) {
 
 	// 4. Diff the memory layouts.
 	meter.BeginPhase(PhaseDiff)
-	diff := diffLayouts(curLayout, m.snap.layout)
+	diff := sc.diff.diff(curLayout, m.snap.layout)
 	curBrk, err := as.Brk(0)
 	if err != nil {
 		return RestoreStats{}, err
@@ -183,7 +244,7 @@ func (m *Manager) Restore() (RestoreStats, error) {
 
 	stats := RestoreStats{
 		MappedPages: mappedPages,
-		DirtyPages:  len(dirty),
+		DirtyPages:  len(sc.dirty),
 	}
 
 	// 5. Reverse layout changes by injecting syscalls.
@@ -218,75 +279,77 @@ func (m *Manager) Restore() (RestoreStats, error) {
 
 	// 6. Madvise newly paged pages: resident now, absent from the snapshot,
 	// inside regions that survive. (Pages in removed regions are already
-	// gone with their munmap.)
+	// gone with their munmap.) sc.present is already sorted — pagemap scans
+	// walk regions in address order — so the runs coalesce directly.
 	meter.BeginPhase(PhaseMadvise)
 	snapLayout := m.snap.layout
-	covered := func(vpn uint64) bool {
-		a := vm.PageAddr(vpn)
-		i := sort.Search(len(snapLayout), func(i int) bool { return snapLayout[i].End > a })
-		return i < len(snapLayout) && snapLayout[i].Contains(a)
-	}
-	var fresh []uint64
-	for vpn := range present {
-		if !m.snap.has(vpn) && covered(vpn) {
-			fresh = append(fresh, vpn)
+	st := &m.snap.store
+	sc.fresh = sc.fresh[:0]
+	for _, vpn := range sc.present {
+		if st.has(vpn) {
+			continue
+		}
+		if _, ok := lookupVMA(snapLayout, vm.PageAddr(vpn)); ok {
+			sc.fresh = append(sc.fresh, vpn)
 		}
 	}
-	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
-	for _, r := range runsOf(fresh) {
-		if err := m.tracer.InjectMadvise(vm.PageAddr(r.start), r.n*4096); err != nil {
+	sc.runs = appendRuns(sc.runs[:0], sc.fresh)
+	for _, r := range sc.runs {
+		if err := m.tracer.InjectMadvise(vm.PageAddr(r.start), r.n*mem.PageSize); err != nil {
 			return RestoreStats{}, fmt.Errorf("core: restore madvise: %w", err)
 		}
 		stats.LayoutOps++
 	}
-	stats.DroppedPages = len(fresh)
+	stats.DroppedPages = len(sc.fresh)
 
 	// 7. Restore memory contents: every snapshot page that is dirty, or
 	// that lost its frame (madvised away or in a re-created region), gets
-	// its recorded contents back. Contiguous pages coalesce into larger
-	// copies when enabled.
+	// its recorded contents back. The dirty list and the store's VPN index
+	// are both sorted, so one linear merge finds the restore set; runs of
+	// contiguous pages then copy back in single batched pokes.
 	meter.BeginPhase(PhaseRestoreMem)
-	var toRestore []uint64
-	dirtySet := make(map[uint64]bool, len(dirty))
-	for _, vpn := range dirty {
-		dirtySet[vpn] = true
-	}
 	phys := m.kern.Phys
-	for _, vpn := range m.snap.order {
-		if dirtySet[vpn] {
-			toRestore = append(toRestore, vpn)
+	sc.restore = sc.restore[:0]
+	di := 0
+	for i, vpn := range st.vpns {
+		for di < len(sc.dirty) && sc.dirty[di] < vpn {
+			di++
+		}
+		if di < len(sc.dirty) && sc.dirty[di] == vpn {
+			sc.restore = append(sc.restore, i)
 			continue
 		}
 		// Page content lives only in the snapshot: re-poke if it is no
 		// longer resident and has real content. (Zero pages refault to
 		// zero on demand; no copy needed.)
-		if !m.residentNow(vpn) && !m.snap.zeroContent(vpn, phys) {
-			toRestore = append(toRestore, vpn)
+		if !m.residentNow(vpn) && !st.zeroAt(i, phys) {
+			sc.restore = append(sc.restore, i)
 		}
 	}
-	for _, r := range runsOf(toRestore) {
-		for i := 0; i < r.n; i++ {
-			vpn := r.start + uint64(i)
-			if m.snap.frames != nil {
-				as.PokePageFromFrame(vpn, m.snap.frames[vpn])
-			} else {
-				as.PokePage(vpn, m.snap.pages[vpn])
-			}
-			if i == 0 || !m.opts.Coalesce {
-				sim.ChargeTo(meter, m.kern.Cost.PageCopy)
-			} else {
-				sim.ChargeTo(meter, m.kern.Cost.PageCopyTail)
-			}
+	for i := 0; i < len(sc.restore); {
+		j := i + 1
+		for j < len(sc.restore) && sc.restore[j] == sc.restore[j-1]+1 &&
+			st.vpns[sc.restore[j]] == st.vpns[sc.restore[j-1]]+1 {
+			j++
 		}
+		m.restoreRun(as, st, sc.restore[i], sc.restore[j-1]+1)
+		n := j - i
+		sim.ChargeTo(meter, m.kern.Cost.RestoreRunSetup)
+		if m.opts.Coalesce {
+			sim.ChargeTo(meter, m.kern.Cost.PageCopy+m.kern.Cost.PageCopyTail*sim.Duration(n-1))
+		} else {
+			sim.ChargeTo(meter, m.kern.Cost.PageCopy*sim.Duration(n))
+		}
+		i = j
 	}
-	stats.RestoredPages = len(toRestore)
+	stats.RestoredPages = len(sc.restore)
 
 	// 8. Clear the soft-dirty bits (or re-arm UFFD write protection on the
 	// pages that faulted).
 	meter.BeginPhase(PhaseClearSD)
 	if m.opts.Tracker == TrackUffd {
 		as.ClearSoftDirty()
-		sim.ChargeTo(meter, m.kern.Cost.ClearRefsPerPage*sim.Duration(len(dirty)))
+		sim.ChargeTo(meter, m.kern.Cost.ClearRefsPerPage*sim.Duration(len(sc.dirty)))
 	} else {
 		m.fs.ClearRefs(m.proc, meter)
 	}
@@ -312,11 +375,35 @@ func (m *Manager) Restore() (RestoreStats, error) {
 	meter.BeginPhase("")
 
 	stats.Total = meter.Total()
-	stats.PhaseDurations = make(map[string]sim.Duration, len(Phases))
-	for _, ph := range Phases {
-		stats.PhaseDurations[ph] = meter.Phase(ph)
+	for i, ph := range Phases {
+		stats.PhaseDurations[i] = meter.Phase(ph)
 	}
 	return stats, nil
+}
+
+// restoreRun copies the recorded pages at store indices [lo, hi) — a run of
+// consecutive VPNs — back into the address space. For the CoW store that is
+// one batched frame copy; for the arena store the run splits into maximal
+// sub-runs of uniform backing (contiguous arena bytes vs. all-zero), each
+// restored with a single PokePageRun call.
+func (m *Manager) restoreRun(as *vm.AddressSpace, st *stateStore, lo, hi int) {
+	if st.frames != nil {
+		as.PokeFrameRun(st.vpns[lo], st.frames[lo:hi])
+		return
+	}
+	for k := lo; k < hi; {
+		zero := st.off[k] < 0
+		l := k + 1
+		for l < hi && (st.off[l] < 0) == zero {
+			l++
+		}
+		if zero {
+			as.PokePageRun(st.vpns[k], l-k, nil)
+		} else {
+			as.PokePageRun(st.vpns[k], l-k, st.arena[st.off[k]:st.off[k]+(l-k)*mem.PageSize])
+		}
+		k = l
+	}
 }
 
 // residentNow reports whether the page currently has a backing frame.

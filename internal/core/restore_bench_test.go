@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"testing"
+
+	"groundhog/internal/benchscenario"
+	"groundhog/internal/core"
+	"groundhog/internal/kernel"
+)
+
+// steadyStateManager wraps the shared scenario (internal/benchscenario) used
+// by both these guards and the ghbench bench-restore microbenchmark, so the
+// CI allocation guard and BENCH_restore.json measure the same workload.
+func steadyStateManager(tb testing.TB, heapPages, dirtyPages int, opts core.Options) (*core.Manager, func()) {
+	tb.Helper()
+	_, m, request, err := benchscenario.SteadyState(kernel.Default(), heapPages, dirtyPages, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m, request
+}
+
+// TestRestoreSteadyStateZeroAllocs pins the steady-state restore path at
+// exactly zero heap allocations: after the first restore has sized the
+// manager's scratch buffers, rolling back a request that dirtied pages (but
+// did not change the memory layout) must not allocate at all.
+func TestRestoreSteadyStateZeroAllocs(t *testing.T) {
+	m, request := steadyStateManager(t, 256, 64, core.DefaultOptions())
+	allocs := testing.AllocsPerRun(50, func() {
+		request()
+		if _, err := m.Restore(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state restore allocates: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestRestoreSteadyStateZeroAllocsLargeSpace repeats the guard at a Node.js-
+// like scale (large mapped space, small write set) — the regime where the old
+// map-based path allocated hash tables proportional to the address space.
+func TestRestoreSteadyStateZeroAllocsLargeSpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large address space in -short mode")
+	}
+	m, request := steadyStateManager(t, 4096, 16, core.DefaultOptions())
+	allocs := testing.AllocsPerRun(10, func() {
+		request()
+		if _, err := m.Restore(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state restore allocates: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkRestoreSteadyState measures the real-CPU cost of the restore hot
+// path at steady state (fixed dirty set, stable layout). Run with -benchmem:
+// the headline number is 0 allocs/op.
+func BenchmarkRestoreSteadyState(b *testing.B) {
+	m, request := steadyStateManager(b, 1024, 128, core.DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		request()
+		if _, err := m.Restore(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRestoreSteadyStateCoW is the same scenario over the CoW state
+// store (§5.5): restores copy from shared frames instead of the arena.
+func BenchmarkRestoreSteadyStateCoW(b *testing.B) {
+	opts := core.DefaultOptions()
+	opts.Store = core.StoreCoW
+	m, request := steadyStateManager(b, 1024, 128, opts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		request()
+		if _, err := m.Restore(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

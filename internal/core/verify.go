@@ -58,15 +58,16 @@ func (m *Manager) Verify() error {
 	// every currently resident page must match the snapshot (zero if the
 	// snapshot had no content there).
 	phys := as.Phys()
-	for _, vpn := range m.snap.order {
+	st := &m.snap.store
+	for i, vpn := range st.vpns {
 		got := as.PeekPage(vpn)
-		if !pagesEqual(got, m.snap.content(vpn, phys)) {
+		if !pagesEqual(got, st.contentAt(i, phys)) {
 			return fmt.Errorf("core: verify: page %#x (%v) differs from snapshot",
 				vpn, vm.PageAddr(vpn))
 		}
 	}
 	for _, vpn := range as.ResidentVPNs() {
-		if m.snap.has(vpn) {
+		if st.has(vpn) {
 			continue // checked above
 		}
 		if got := as.PeekPage(vpn); got != nil {

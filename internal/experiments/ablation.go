@@ -125,7 +125,7 @@ func AblationCoalesce(cfg Config) (*metrics.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			cost[i] = ms(st.PhaseDurations[core.PhaseRestoreMem])
+			cost[i] = ms(st.PhaseDurations.Of(core.PhaseRestoreMem))
 		}
 		saving := 0.0
 		if cost[1] > 0 {

@@ -97,8 +97,8 @@ func (cfg Config) measureCell(e catalog.Entry, mode isolation.Mode) (*Cell, erro
 			cell.MappedPagesK = float64(st.Restore.MappedPages) / 1000
 			cell.RestoredPagesK = float64(st.Restore.RestoredPages) / 1000
 			cell.DirtyPagesK = float64(st.Restore.DirtyPages) / 1000
-			for ph, d := range st.Restore.PhaseDurations {
-				cell.RestorePhases[ph] += ms(d)
+			for i, d := range st.Restore.PhaseDurations {
+				cell.RestorePhases[core.Phases[i]] += ms(d)
 			}
 		}
 	}

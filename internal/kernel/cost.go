@@ -35,6 +35,7 @@ type CostModel struct {
 	ReadMapsBase     sim.Duration // opening and parsing /proc/pid/maps
 	ReadMapsPerVMA   sim.Duration
 	PagemapPerPage   sim.Duration // scanning pagemap soft-dirty bits
+	PagemapRangeBase sim.Duration // per VMA-scoped pagemap read (seek to the range)
 	ClearRefsPerPage sim.Duration // write to /proc/pid/clear_refs, per PTE
 
 	// Layout diffing (pure manager-side computation).
@@ -45,8 +46,13 @@ type CostModel struct {
 	// PageCopy; subsequent pages in the same run cost PageCopyTail. This
 	// produces the slope change near 60% dirtying in Fig. 3 (left), where
 	// random dirty sets become dense enough to form long runs.
-	PageCopy     sim.Duration
-	PageCopyTail sim.Duration
+	// RestoreRunSetup is the additional fixed cost of issuing one batched
+	// run copy (the process_vm_writev call setup); it defaults to zero so
+	// the calibrated PageCopy/PageCopyTail split keeps modeling the whole
+	// run cost, but gives experiments a knob for per-call overhead.
+	PageCopy        sim.Duration
+	PageCopyTail    sim.Duration
+	RestoreRunSetup sim.Duration
 
 	// Snapshotting (one-time, §5.5). SnapshotCoWPerPage is the far cheaper
 	// per-page cost of the copy-on-write state store (reference + PTE
@@ -107,6 +113,7 @@ func Default() CostModel {
 		ReadMapsBase:     90 * time.Microsecond,
 		ReadMapsPerVMA:   900 * time.Nanosecond,
 		PagemapPerPage:   60 * time.Nanosecond,
+		PagemapRangeBase: 250 * time.Nanosecond,
 		ClearRefsPerPage: 30 * time.Nanosecond,
 
 		DiffPerVMA: 500 * time.Nanosecond,

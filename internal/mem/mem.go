@@ -8,7 +8,11 @@
 // be observable in tests rather than merely asserted away.
 package mem
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
 
 const (
 	// PageSize is the size of a physical frame and of a virtual page.
@@ -130,11 +134,7 @@ func (p *PhysMem) ReadWord(id FrameID, off int) uint64 {
 	if f.data == nil {
 		return 0
 	}
-	var v uint64
-	for i := WordSize - 1; i >= 0; i-- {
-		v = v<<8 | uint64(f.data[off+i])
-	}
-	return v
+	return binary.LittleEndian.Uint64(f.data[off:])
 }
 
 // WriteWord stores the 8-byte little-endian word v at byte offset off. The
@@ -146,10 +146,7 @@ func (p *PhysMem) WriteWord(id FrameID, off int, v uint64) {
 	if v == 0 && f.data == nil {
 		return // writing zero to a zero frame: stay lazily zero
 	}
-	d := f.materialize()
-	for i := 0; i < WordSize; i++ {
-		d[off+i] = byte(v >> (8 * i))
-	}
+	binary.LittleEndian.PutUint64(f.materialize()[off:], v)
 }
 
 // ReadAt copies frame bytes [off, off+len(buf)) into buf.
@@ -165,18 +162,20 @@ func (p *PhysMem) ReadAt(id FrameID, off int, buf []byte) {
 	copy(buf, f.data[off:])
 }
 
+// zeroPage is the reference all-zero page used by the bytes.Equal fast paths.
+var zeroPage [PageSize]byte
+
+// isZeroBytes reports whether every byte of buf is zero. len(buf) must not
+// exceed PageSize (every PhysMem access is intra-frame, so it never does).
+func isZeroBytes(buf []byte) bool {
+	return bytes.Equal(buf, zeroPage[:len(buf)])
+}
+
 // WriteAt copies buf into frame bytes [off, off+len(buf)).
 func (p *PhysMem) WriteAt(id FrameID, off int, buf []byte) {
 	checkOffset(off, len(buf))
-	allZero := true
-	for _, b := range buf {
-		if b != 0 {
-			allZero = false
-			break
-		}
-	}
 	f := p.get(id)
-	if allZero && f.data == nil {
+	if f.data == nil && isZeroBytes(buf) {
 		return
 	}
 	copy(f.materialize()[off:], buf)
@@ -190,36 +189,21 @@ func (p *PhysMem) Zero(id FrameID) {
 // IsZero reports whether every byte of the frame is zero.
 func (p *PhysMem) IsZero(id FrameID) bool {
 	f := p.get(id)
-	if f.data == nil {
-		return true
-	}
-	for _, b := range f.data {
-		if b != 0 {
-			return false
-		}
-	}
-	return true
+	return f.data == nil || isZeroBytes(f.data)
 }
 
 // Equal reports whether two frames hold identical bytes.
 func (p *PhysMem) Equal(a, b FrameID) bool {
 	fa, fb := p.get(a), p.get(b)
-	if fa.data == nil && fb.data == nil {
+	switch {
+	case fa.data == nil && fb.data == nil:
 		return true
+	case fa.data == nil:
+		return isZeroBytes(fb.data)
+	case fb.data == nil:
+		return isZeroBytes(fa.data)
 	}
-	for i := 0; i < PageSize; i++ {
-		var ba, bb byte
-		if fa.data != nil {
-			ba = fa.data[i]
-		}
-		if fb.data != nil {
-			bb = fb.data[i]
-		}
-		if ba != bb {
-			return false
-		}
-	}
-	return true
+	return bytes.Equal(fa.data, fb.data)
 }
 
 // Snapshot returns an independent copy of the frame's contents. A nil return
@@ -243,6 +227,26 @@ func (p *PhysMem) RestoreInto(id FrameID, snap []byte) {
 		return
 	}
 	copy(f.materialize(), snap)
+}
+
+// RestoreRun overwrites a run of frames in one call: frame ids[i] receives
+// data[i*PageSize:(i+1)*PageSize]. A nil data zeroes every frame in the run.
+// This is the batch half of the run-based restore path: the caller hands one
+// contiguous arena slice covering the whole run instead of one buffer per
+// page, so the copy loop stays in this package and allocates nothing.
+func (p *PhysMem) RestoreRun(ids []FrameID, data []byte) {
+	if data == nil {
+		for _, id := range ids {
+			p.get(id).data = nil
+		}
+		return
+	}
+	if len(data) != len(ids)*PageSize {
+		panic(fmt.Sprintf("mem: RestoreRun of %d frames with %d bytes", len(ids), len(data)))
+	}
+	for i, id := range ids {
+		copy(p.get(id).materialize(), data[i*PageSize:(i+1)*PageSize])
+	}
 }
 
 // Copy overwrites dst's contents with src's.

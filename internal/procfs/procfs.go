@@ -45,6 +45,18 @@ func (fs *FS) Maps(p *kernel.Process, meter *sim.Meter) string {
 	return b.String()
 }
 
+// MapsRegions reads p's memory layout directly into buf (appending, so a
+// caller that reuses buf across calls allocates nothing) and returns the
+// extended slice. It charges exactly the costs of Maps: this is the same
+// /proc/pid/maps read, parsed into a preallocated region buffer instead of
+// through an intermediate string. Equivalence with ParseMaps(Maps(...)) is
+// asserted by tests; the restore hot path uses this form.
+func (fs *FS) MapsRegions(p *kernel.Process, meter *sim.Meter, buf []vm.VMA) []vm.VMA {
+	sim.ChargeTo(meter, fs.kern.Cost.ReadMapsBase)
+	sim.ChargeTo(meter, fs.kern.Cost.ReadMapsPerVMA*sim.Duration(p.AS.NumVMAs()))
+	return p.AS.AppendVMAs(buf)
+}
+
 // ParseMaps parses text in the format produced by Maps back into regions.
 func ParseMaps(text string) ([]vm.VMA, error) {
 	var out []vm.VMA
@@ -111,6 +123,29 @@ func (fs *FS) Pagemap(p *kernel.Process, meter *sim.Meter) []PageFlags {
 	}
 	sim.ChargeTo(meter, fs.kern.Cost.PagemapPerPage*sim.Duration(scanned))
 	return out
+}
+
+// PagemapRange scans the pagemap entries for the pages of [start, end) only,
+// appending one PageFlags per page to buf and returning the extended slice.
+// This is the VMA-scoped form of Pagemap: the snapshot and restore paths call
+// it once per mapped region, reusing one buffer sized to the largest VMA,
+// instead of synthesizing a flag slice for the whole address space. Each
+// ranged read charges PagemapRangeBase (the seek to the range's file offset)
+// plus the usual per-page cost.
+func (fs *FS) PagemapRange(p *kernel.Process, start, end vm.Addr, meter *sim.Meter, buf []PageFlags) []PageFlags {
+	scanned := 0
+	for vpn := start.PageNum(); vpn < end.PageNum(); vpn++ {
+		scanned++
+		pf := PageFlags{VPN: vpn}
+		if pte, ok := p.AS.PTEAt(vpn); ok {
+			pf.Present = true
+			pf.SoftDirty = pte.SoftDirty
+		}
+		buf = append(buf, pf)
+	}
+	sim.ChargeTo(meter, fs.kern.Cost.PagemapRangeBase)
+	sim.ChargeTo(meter, fs.kern.Cost.PagemapPerPage*sim.Duration(scanned))
+	return buf
 }
 
 // SoftDirtyVPNs scans the pagemap and returns only the present, soft-dirty

@@ -1,0 +1,93 @@
+package procfs
+
+import (
+	"testing"
+
+	"groundhog/internal/kernel"
+	"groundhog/internal/mem"
+	"groundhog/internal/sim"
+	"groundhog/internal/vm"
+)
+
+func rangeTestProcess(t *testing.T) (*kernel.Kernel, *kernel.Process, *FS) {
+	t.Helper()
+	k := kernel.New(kernel.Default())
+	p, err := k.Spawn(kernel.ExecSpec{TextPages: 4, DataPages: 2, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AS.Brk(p.AS.HeapBase() + 8*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p.AS.WriteWord(p.AS.HeapBase()+vm.Addr(i*mem.PageSize), uint64(i+1))
+	}
+	return k, p, New(k)
+}
+
+// TestPagemapRangeEquivalentToFullScan asserts the VMA-scoped scan, stitched
+// across all regions, reproduces the full-address-space Pagemap exactly.
+func TestPagemapRangeEquivalentToFullScan(t *testing.T) {
+	_, p, fs := rangeTestProcess(t)
+	full := fs.Pagemap(p, nil)
+	var ranged []PageFlags
+	for _, v := range p.AS.VMAs() {
+		ranged = fs.PagemapRange(p, v.Start, v.End, nil, ranged)
+	}
+	if len(ranged) != len(full) {
+		t.Fatalf("ranged scan yields %d entries, full scan %d", len(ranged), len(full))
+	}
+	for i := range full {
+		if ranged[i] != full[i] {
+			t.Fatalf("entry %d: ranged %+v != full %+v", i, ranged[i], full[i])
+		}
+	}
+}
+
+func TestPagemapRangeChargesSeekPlusPerPage(t *testing.T) {
+	k, p, fs := rangeTestProcess(t)
+	v := p.AS.VMAs()[0]
+	m := sim.NewMeter()
+	fs.PagemapRange(p, v.Start, v.End, m, nil)
+	want := k.Cost.PagemapRangeBase + k.Cost.PagemapPerPage*sim.Duration(v.Pages())
+	if m.Total() != want {
+		t.Fatalf("ranged scan cost %v, want %v", m.Total(), want)
+	}
+}
+
+func TestPagemapRangeReusesBuffer(t *testing.T) {
+	_, p, fs := rangeTestProcess(t)
+	v := p.AS.VMAs()[0]
+	buf := fs.PagemapRange(p, v.Start, v.End, nil, nil)
+	again := fs.PagemapRange(p, v.Start, v.End, nil, buf[:0])
+	if &again[0] != &buf[0] {
+		t.Fatal("PagemapRange reallocated despite sufficient capacity")
+	}
+}
+
+// TestMapsRegionsEquivalentToTextPath asserts the binary maps fast path
+// returns exactly what rendering and re-parsing the text form does, at the
+// same metered cost.
+func TestMapsRegionsEquivalentToTextPath(t *testing.T) {
+	_, p, fs := rangeTestProcess(t)
+
+	mText := sim.NewMeter()
+	parsed, err := ParseMaps(fs.Maps(p, mText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBin := sim.NewMeter()
+	direct := fs.MapsRegions(p, mBin, nil)
+
+	if len(direct) != len(parsed) {
+		t.Fatalf("binary path %d regions, text path %d", len(direct), len(parsed))
+	}
+	for i := range parsed {
+		if direct[i] != parsed[i] {
+			t.Fatalf("region %d: binary %+v != text %+v", i, direct[i], parsed[i])
+		}
+	}
+	if mBin.Total() != mText.Total() {
+		t.Fatalf("binary path cost %v, text path %v", mBin.Total(), mText.Total())
+	}
+}

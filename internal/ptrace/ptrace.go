@@ -124,6 +124,19 @@ func (t *Tracer) PeekPage(vpn uint64) ([]byte, error) {
 	return t.proc.AS.PeekPage(vpn), nil
 }
 
+// PeekPageInto reads one page of tracee memory into buf (at least one page),
+// avoiding the per-page allocation of PeekPage: ok=false means the page is
+// not resident, zero=true that it is all-zero (buf untouched). The snapshot
+// fast path uses this to fill its arena in place.
+func (t *Tracer) PeekPageInto(vpn uint64, buf []byte) (zero, ok bool, err error) {
+	if err := t.check(true); err != nil {
+		return false, false, err
+	}
+	sim.ChargeTo(t.meter, t.kern.Cost.PtracePeekPerPage)
+	zero, ok = t.proc.AS.PeekPageInto(vpn, buf)
+	return zero, ok, nil
+}
+
 // PokePage writes one page of tracee memory (nil data zeroes the page). It
 // bypasses the tracee's fault accounting, as kernel-mediated writes do; the
 // caller is responsible for soft-dirty hygiene afterwards.

@@ -63,6 +63,10 @@ type AddressSpace struct {
 	uffd bool
 
 	faults FaultStats
+
+	// runFrames is the reusable frame scratch for PokePageRun, so the
+	// steady-state restore path performs no heap allocations.
+	runFrames []mem.FrameID
 }
 
 // New returns an empty address space backed by phys with the given cost
@@ -113,6 +117,13 @@ func (as *AddressSpace) VMAs() []VMA {
 	out := make([]VMA, len(as.vmas))
 	copy(out, as.vmas)
 	return out
+}
+
+// AppendVMAs appends the region list (sorted by start address) to buf and
+// returns the extended slice. Callers that reuse buf across calls read the
+// layout without allocating; pass nil for a fresh copy.
+func (as *AddressSpace) AppendVMAs(buf []VMA) []VMA {
+	return append(buf, as.vmas...)
 }
 
 // NumVMAs returns the number of regions.
@@ -357,12 +368,27 @@ func (as *AddressSpace) PeekPage(vpn uint64) []byte {
 	return as.phys.Snapshot(pte.Frame)
 }
 
-// PokePage overwrites page vpn with data (nil means all-zero), materializing
-// a private frame if needed. This is the kernel-side write used by the
-// restorer; it breaks CoW sharing without charging function-side fault costs
-// (the restorer accounts for its own copy costs) and leaves soft-dirty state
-// to the caller, which clears it afterwards exactly as Groundhog does.
-func (as *AddressSpace) PokePage(vpn uint64, data []byte) {
+// PeekPageInto copies the contents of page vpn into buf (which must hold at
+// least mem.PageSize bytes). It returns ok=false if the page is not resident;
+// zero=true means the page is all-zero and buf was left untouched. Unlike
+// PeekPage it never allocates, so bulk snapshotting can reuse one arena.
+func (as *AddressSpace) PeekPageInto(vpn uint64, buf []byte) (zero, ok bool) {
+	pte, resident := as.pages[vpn]
+	if !resident {
+		return false, false
+	}
+	if as.phys.Bytes(pte.Frame) == 0 {
+		return true, true
+	}
+	as.phys.ReadAt(pte.Frame, 0, buf[:mem.PageSize])
+	return false, true
+}
+
+// pokePTE ensures vpn has a privately owned frame the restorer may overwrite:
+// it allocates one for non-resident pages and breaks CoW sharing for shared
+// ones, returning the updated entry. The caller must store the PTE back after
+// writing.
+func (as *AddressSpace) pokePTE(vpn uint64) PTE {
 	pte, ok := as.pages[vpn]
 	if !ok {
 		pte = PTE{Frame: as.phys.Alloc()}
@@ -374,8 +400,50 @@ func (as *AddressSpace) PokePage(vpn uint64, data []byte) {
 	} else {
 		pte.cow = false
 	}
+	return pte
+}
+
+// PokePage overwrites page vpn with data (nil means all-zero), materializing
+// a private frame if needed. This is the kernel-side write used by the
+// restorer; it breaks CoW sharing without charging function-side fault costs
+// (the restorer accounts for its own copy costs) and leaves soft-dirty state
+// to the caller, which clears it afterwards exactly as Groundhog does.
+func (as *AddressSpace) PokePage(vpn uint64, data []byte) {
+	pte := as.pokePTE(vpn)
 	as.phys.RestoreInto(pte.Frame, data)
 	as.pages[vpn] = pte
+}
+
+// PokePageRun overwrites the n consecutive pages starting at startVPN with
+// data, one contiguous buffer of n*mem.PageSize bytes (nil zeroes the run).
+// It is the batch form of PokePage used by the run-based restore path: one
+// call per coalesced run of dirty pages, modeling a single process_vm_writev
+// covering the run, with no per-page buffer handling and no allocation in
+// steady state (resident, privately-owned pages).
+func (as *AddressSpace) PokePageRun(startVPN uint64, n int, data []byte) {
+	if data != nil && len(data) != n*mem.PageSize {
+		panic(fmt.Sprintf("vm: PokePageRun of %d pages with %d bytes", n, len(data)))
+	}
+	frames := as.runFrames[:0]
+	for i := 0; i < n; i++ {
+		pte := as.pokePTE(startVPN + uint64(i))
+		as.pages[startVPN+uint64(i)] = pte
+		frames = append(frames, pte.Frame)
+	}
+	as.phys.RestoreRun(frames, data)
+	as.runFrames = frames[:0]
+}
+
+// PokeFrameRun overwrites the consecutive pages starting at startVPN with the
+// contents of the caller-owned frames in src (the CoW state store's batch
+// restore). Like PokePageRun it is one kernel-side call per run.
+func (as *AddressSpace) PokeFrameRun(startVPN uint64, src []mem.FrameID) {
+	for i, f := range src {
+		vpn := startVPN + uint64(i)
+		pte := as.pokePTE(vpn)
+		as.phys.Copy(pte.Frame, f)
+		as.pages[vpn] = pte
+	}
 }
 
 // ShareFrameCoW hands the caller a reference to vpn's backing frame and
@@ -399,17 +467,7 @@ func (as *AddressSpace) ShareFrameCoW(vpn uint64) (mem.FrameID, bool) {
 // kernel-side write: no fault accounting, soft-dirty hygiene left to the
 // caller.
 func (as *AddressSpace) PokePageFromFrame(vpn uint64, src mem.FrameID) {
-	pte, ok := as.pages[vpn]
-	if !ok {
-		pte = PTE{Frame: as.phys.Alloc()}
-	} else if pte.cow && as.phys.Refs(pte.Frame) > 1 {
-		f := as.phys.Clone(pte.Frame)
-		as.phys.Unref(pte.Frame)
-		pte.Frame = f
-		pte.cow = false
-	} else {
-		pte.cow = false
-	}
+	pte := as.pokePTE(vpn)
 	as.phys.Copy(pte.Frame, src)
 	as.pages[vpn] = pte
 }
