@@ -179,15 +179,16 @@ func run(cfg experiments.Config, names []string, quick bool) error {
 // restoreJSONPath is where benchRestore writes its machine-readable summary.
 var restoreJSONPath string
 
-// benchRestore runs the steady-state restore microbenchmark and writes
-// BENCH_restore.json next to the console table, so CI and scripts can track
-// the hot path's wall time and allocation rate across commits.
+// benchRestore runs the steady-state restore microbenchmark under both write
+// trackers (soft-dirty and UFFD) and writes BENCH_restore.json — a JSON array
+// with one entry per tracker — next to the console table, so CI and scripts
+// can track both hot paths' wall time and allocation rate across commits.
 func benchRestore(cfg experiments.Config, quick bool) (*metrics.Table, error) {
 	heapPages, iters := 4096, 2000
 	if quick {
 		heapPages, iters = 1024, 500
 	}
-	res, err := experiments.RestoreBench(cfg, heapPages, 128, iters)
+	res, err := experiments.RestoreBenchVariants(cfg, heapPages, 128, iters)
 	if err != nil {
 		return nil, err
 	}
@@ -201,5 +202,5 @@ func benchRestore(cfg experiments.Config, quick bool) (*metrics.Table, error) {
 		}
 		fmt.Fprintf(os.Stderr, "ghbench: wrote %s\n", restoreJSONPath)
 	}
-	return experiments.RestoreBenchTable(res), nil
+	return experiments.RestoreBenchTable(res...), nil
 }

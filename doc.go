@@ -39,17 +39,35 @@
 // materializing a full-address-space flag slice, the dirty list is merged
 // against the sorted VPN index with linear scans, and maximal runs of
 // contiguous pages are copied back with single batched pokes
-// (vm.AddressSpace.PokePageRun / mem.PhysMem.RestoreRun) straight out of the
-// arena. After the first restore has sized the manager's scratch buffers,
-// rolling back a request that dirtied pages without changing the memory
-// layout performs zero heap allocations — a property pinned by
-// TestRestoreSteadyStateZeroAllocs and observable with:
+// (vm.AddressSpace.PokePageRun / PokeFrameRun over mem.PhysMem.RestoreRun /
+// CopyRun) straight out of the arena. After the first restore has sized the
+// manager's scratch buffers, rolling back a request that dirtied pages
+// without changing the memory layout performs zero heap allocations — a
+// property pinned by TestRestoreSteadyStateZeroAllocs and observable with:
 //
 //	go test ./internal/core/ -bench=BenchmarkRestoreSteadyState -benchmem
 //
-// The same scenario is exported as a CLI microbenchmark that also writes a
-// machine-readable BENCH_restore.json (wall ns/restore, allocs/restore,
-// virtual µs/restore, page counters) for tracking across commits:
+// The UFFD tracker (the §4.3 ablation the paper rejected) holds the same
+// bar by a different route: each write-protect fault appends the page to the
+// address space's incremental sorted dirty log (the simulated equivalent of
+// the user-space fault handler accumulating the dirty set), ClearSoftDirty
+// re-arms the log, and the restore reads it back — plus the resident set —
+// through the append-style accessors vm.AddressSpace.AppendSoftDirtyVPNs and
+// AppendResidentVPNs into the same scratch buffers, so the dirty set is read
+// without a page-table walk (the resident check still walks the page map,
+// charged per resident page). Its scan phase is charged honestly: per dirty
+// page for the log read, plus the mincore-style
+// kernel.CostModel.ResidentScanPerPage per resident page for the paged-in
+// check — or full pagemap-scan prices when the log was invalidated (an
+// mremap move relocated PTEs). TestRestoreUffdSteadyStateZeroAllocs
+// pins this path at zero allocations too, and re-snapshots recycle the
+// previous snapshot's arena through a manager-level store pool instead of
+// reallocating it.
+//
+// The same scenario — in both tracker variants — is exported as a CLI
+// microbenchmark that also writes a machine-readable BENCH_restore.json (an
+// array with one entry per tracker: wall ns/restore, allocs/restore, virtual
+// µs/restore, page counters) for tracking across commits:
 //
 //	go run ./cmd/ghbench -e bench-restore
 package groundhog

@@ -179,8 +179,14 @@ type Manager struct {
 	snap   *snapshot
 
 	// scratch holds the reusable buffers that make steady-state Restore
-	// allocation-free; see restoreScratch.
+	// allocation-free; see restoreScratch. TakeSnapshot routes its page
+	// enumeration through the same buffers.
 	scratch restoreScratch
+
+	// storePool holds the previous snapshot's recycled store buffers (VPN
+	// index, offsets, arena, frame slice) so re-snapshots fill one
+	// manager-level arena instead of reallocating it each time.
+	storePool stateStore
 }
 
 // NewManager attaches a manager to the function process. The process should
@@ -220,7 +226,9 @@ func (m *Manager) SnapshotStats() SnapshotStats {
 // reference slice) indexed by a sorted VPN list, and the pagemap is read one
 // VMA at a time rather than as a single full-address-space flag slice — so a
 // snapshot of an 85k-page runtime costs a handful of allocations rather than
-// one per page.
+// one per page. Re-snapshots reuse the previous snapshot's recycled arena
+// and index slices (the manager's store pool), so refreshing a snapshot at
+// an unchanged scale allocates nothing for page contents.
 func (m *Manager) TakeSnapshot() (SnapshotStats, error) {
 	meter := sim.NewMeter()
 	m.tracer.SetMeter(meter)
@@ -241,60 +249,71 @@ func (m *Manager) TakeSnapshot() (SnapshotStats, error) {
 
 	// (c) record resident pages in the StateStore: eager copies into the
 	// arena, or CoW frame shares (§5.5) that defer the copy to the
-	// function's first write of each page. Page metadata is read with
-	// VMA-scoped pagemap scans, reusing one flags buffer across regions.
+	// function's first write of each page. The resident set is enumerated
+	// with VMA-scoped pagemap scans under soft-dirty tracking, or — under
+	// UFFD, whose manager never reads soft-dirty bits — with a mincore-style
+	// resident walk through the address space's append accessor. Both paths
+	// run through the manager's reusable scratch buffers, and page contents
+	// land in the pooled arena recycled from the previous snapshot.
 	snap := &snapshot{
 		layout: layout,
 		regs:   make(map[int]kernel.Regs),
 	}
 	sim.ChargeTo(meter, m.kern.Cost.SnapshotBase)
-	resident := m.proc.AS.ResidentPages()
-	st := &snap.store
-	st.vpns = make([]uint64, 0, resident)
-	var flags []procfs.PageFlags
-	switch m.opts.Store {
-	case StoreCoW:
-		st.frames = make([]mem.FrameID, 0, resident)
+	sc := &m.scratch
+	sc.present = sc.present[:0]
+	if m.opts.Tracker == TrackUffd {
+		sc.present = m.proc.AS.AppendResidentVPNs(sc.present)
+		sim.ChargeTo(meter, m.kern.Cost.ResidentScanPerPage*sim.Duration(len(sc.present)))
+	} else {
 		for _, v := range layout {
-			flags = m.fs.PagemapRange(m.proc, v.Start, v.End, meter, flags[:0])
-			for _, pf := range flags {
-				if !pf.Present {
-					continue
+			sc.flags = m.fs.PagemapRange(m.proc, v.Start, v.End, meter, sc.flags[:0])
+			for _, pf := range sc.flags {
+				if pf.Present {
+					sc.present = append(sc.present, pf.VPN)
 				}
-				f, ok := m.proc.AS.ShareFrameCoW(pf.VPN)
-				if !ok {
-					return SnapshotStats{}, fmt.Errorf("core: page %#x vanished during snapshot", pf.VPN)
-				}
-				st.vpns = append(st.vpns, pf.VPN)
-				st.frames = append(st.frames, f)
-				sim.ChargeTo(meter, m.kern.Cost.SnapshotCoWPerPage)
 			}
 		}
-	default:
-		st.off = make([]int, 0, resident)
-		st.arena = make([]byte, 0, resident*mem.PageSize)
-		for _, v := range layout {
-			flags = m.fs.PagemapRange(m.proc, v.Start, v.End, meter, flags[:0])
-			for _, pf := range flags {
-				if !pf.Present {
-					continue
-				}
-				off := len(st.arena)
-				st.arena = slices.Grow(st.arena, mem.PageSize)[:off+mem.PageSize]
-				zero, ok, err := m.tracer.PeekPageInto(pf.VPN, st.arena[off:])
-				if err != nil {
-					return SnapshotStats{}, err
-				}
-				if !ok || zero {
-					// All-zero (or vanished) pages take no arena bytes; the
-					// old map-based store recorded them as nil the same way.
-					st.arena = st.arena[:off]
-					off = -1
-				}
-				st.vpns = append(st.vpns, pf.VPN)
-				st.off = append(st.off, off)
-				sim.ChargeTo(meter, m.kern.Cost.SnapshotPerPage)
+	}
+
+	st := &snap.store
+	*st, m.storePool = m.storePool, stateStore{}
+	if st.vpns == nil {
+		st.vpns = make([]uint64, 0, len(sc.present))
+	}
+	switch m.opts.Store {
+	case StoreCoW:
+		st.off, st.arena = nil, nil
+		if st.frames == nil {
+			st.frames = make([]mem.FrameID, 0, len(sc.present))
+		}
+		for _, vpn := range sc.present {
+			f, ok := m.proc.AS.ShareFrameCoW(vpn)
+			if !ok {
+				return SnapshotStats{}, fmt.Errorf("core: page %#x vanished during snapshot", vpn)
 			}
+			st.vpns = append(st.vpns, vpn)
+			st.frames = append(st.frames, f)
+			sim.ChargeTo(meter, m.kern.Cost.SnapshotCoWPerPage)
+		}
+	default:
+		st.frames = nil
+		for _, vpn := range sc.present {
+			off := len(st.arena)
+			st.arena = slices.Grow(st.arena, mem.PageSize)[:off+mem.PageSize]
+			zero, ok, err := m.tracer.PeekPageInto(vpn, st.arena[off:])
+			if err != nil {
+				return SnapshotStats{}, err
+			}
+			if !ok || zero {
+				// All-zero (or vanished) pages take no arena bytes; the
+				// old map-based store recorded them as nil the same way.
+				st.arena = st.arena[:off]
+				off = -1
+			}
+			st.vpns = append(st.vpns, vpn)
+			st.off = append(st.off, off)
+			sim.ChargeTo(meter, m.kern.Cost.SnapshotPerPage)
 		}
 	}
 
@@ -322,7 +341,7 @@ func (m *Manager) TakeSnapshot() (SnapshotStats, error) {
 		VMAs:     len(layout),
 	}
 	if m.snap != nil {
-		m.snap.store.release(m.kern.Phys)
+		m.storePool = m.snap.store.recycle(m.kern.Phys)
 	}
 	m.snap = snap
 	return snap.stats, nil

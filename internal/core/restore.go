@@ -150,12 +150,14 @@ func runsOf(vpns []uint64) []vpnRun {
 	return appendRuns(nil, vpns)
 }
 
-// restoreScratch holds every buffer the restore path reuses across calls.
-// After the first Restore has sized them, steady-state restores (requests
-// that dirty pages without changing the memory layout) under the default
-// soft-dirty tracker perform zero heap allocations — the property pinned by
-// TestRestoreSteadyStateZeroAllocs. (The UFFD ablation path still allocates:
-// it materializes sorted VPN slices per restore; see ROADMAP open items.)
+// restoreScratch holds every buffer the restore and snapshot paths reuse
+// across calls. After the first Restore has sized them, steady-state
+// restores (requests that dirty pages without changing the memory layout)
+// perform zero heap allocations under both trackers: the soft-dirty path
+// scans the pagemap into reused buffers, and the UFFD path reads the address
+// space's incremental dirty log and resident set through the append-style
+// accessors — the properties pinned by TestRestoreSteadyStateZeroAllocs and
+// TestRestoreUffdSteadyStateZeroAllocs.
 type restoreScratch struct {
 	meter   *sim.Meter
 	layout  []vm.VMA           // current memory map
@@ -208,15 +210,27 @@ func (m *Manager) Restore() (RestoreStats, error) {
 	// Under soft-dirty tracking this reads the pagemap one mapped region at
 	// a time (never materializing a full-address-space flag slice); under
 	// UFFD the dirty set was accumulated by the fault handler during the
-	// request, so the scan cost is per dirty page only.
+	// request (the address space's dirty log), so reading it costs per
+	// dirty page — but the resident set still has to be checked for newly
+	// paged-in pages, a mincore-style walk charged per resident page.
 	meter.BeginPhase(PhaseScanPages)
 	sc.dirty, sc.present = sc.dirty[:0], sc.present[:0]
 	var mappedPages int
 	if m.opts.Tracker == TrackUffd {
-		sc.dirty = append(sc.dirty, as.SoftDirtyVPNs()...)
-		sc.present = append(sc.present, as.ResidentVPNs()...)
+		logged := as.DirtyLogArmed()
+		sc.dirty = as.AppendSoftDirtyVPNs(sc.dirty)
+		sc.present = as.AppendResidentVPNs(sc.present)
 		mappedPages = as.MappedPages()
-		sim.ChargeTo(meter, m.kern.Cost.PagemapPerPage*sim.Duration(len(sc.dirty)))
+		if logged {
+			sim.ChargeTo(meter, m.kern.Cost.PagemapPerPage*sim.Duration(len(sc.dirty)))
+			sim.ChargeTo(meter, m.kern.Cost.ResidentScanPerPage*sim.Duration(len(sc.present)))
+		} else {
+			// The log was invalidated (an mremap move relocated PTEs, or
+			// tracking was switched): the dirty set came from a fallback
+			// page-table walk, priced like the full pagemap scan it stands
+			// in for (which also covers the resident check).
+			sim.ChargeTo(meter, m.kern.Cost.PagemapPerPage*sim.Duration(mappedPages))
+		}
 	} else {
 		for _, v := range curLayout {
 			sc.flags = m.fs.PagemapRange(m.proc, v.Start, v.End, meter, sc.flags[:0])

@@ -37,6 +37,27 @@ func TestRestoreSteadyStateZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestRestoreUffdSteadyStateZeroAllocs pins the UFFD tracker's restore path
+// at the same zero-allocation bar as the soft-dirty default: the dirty set
+// comes from the address space's incremental dirty log and the resident set
+// from the append-style accessor, both read into the manager's scratch
+// buffers.
+func TestRestoreUffdSteadyStateZeroAllocs(t *testing.T) {
+	_, m, request, err := benchscenario.SteadyStateUffd(kernel.Default(), 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		request()
+		if _, err := m.Restore(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state UFFD restore allocates: %.1f allocs/op, want 0", allocs)
+	}
+}
+
 // TestRestoreSteadyStateZeroAllocsLargeSpace repeats the guard at a Node.js-
 // like scale (large mapped space, small write set) — the regime where the old
 // map-based path allocated hash tables proportional to the address space.
@@ -61,6 +82,24 @@ func TestRestoreSteadyStateZeroAllocsLargeSpace(t *testing.T) {
 // the headline number is 0 allocs/op.
 func BenchmarkRestoreSteadyState(b *testing.B) {
 	m, request := steadyStateManager(b, 1024, 128, core.DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		request()
+		if _, err := m.Restore(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRestoreUffdSteadyState is the same scenario under the UFFD
+// tracker: restores read the fault handler's dirty log instead of scanning
+// the pagemap. The headline number is again 0 allocs/op.
+func BenchmarkRestoreUffdSteadyState(b *testing.B) {
+	_, m, request, err := benchscenario.SteadyStateUffd(kernel.Default(), 1024, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

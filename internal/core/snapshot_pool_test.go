@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"groundhog/internal/mem"
+)
+
+// TestResnapshotReusesArena pins the manager-level arena reuse: once two
+// snapshots have been taken, further re-snapshots rotate between the two
+// recycled buffer sets instead of allocating new arenas (the old snapshot
+// stays live while the new one is built, so steady state is a two-deep pool).
+func TestResnapshotReusesArena(t *testing.T) {
+	_, p, m := newManagedProcess(t, 1, 32, DefaultOptions())
+	heap := p.AS.HeapBase()
+	first := &m.snap.store.arena[0]
+
+	for i := 0; i < 2; i++ {
+		p.AS.WriteWord(heap+mem.PageSize, 0xAB00+uint64(i))
+		if _, err := m.TakeSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Verify(); err != nil {
+			t.Fatalf("re-snapshot %d does not verify: %v", i, err)
+		}
+	}
+	if &m.snap.store.arena[0] != first {
+		t.Fatal("third snapshot did not reuse the first snapshot's recycled arena")
+	}
+}
+
+// TestResnapshotCoWRecyclesFrames checks the CoW store counterpart: replacing
+// a snapshot releases the old frame references (no physical-memory leak) and
+// reuses the recycled frame-index slice.
+func TestResnapshotCoWRecyclesFrames(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Store = StoreCoW
+	k, _, m := newManagedProcess(t, 1, 16, opts)
+	first := &m.snap.store.frames[0]
+	inUse := k.Phys.InUse()
+
+	for i := 0; i < 2; i++ {
+		if _, err := m.TakeSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Verify(); err != nil {
+			t.Fatalf("re-snapshot %d does not verify: %v", i, err)
+		}
+	}
+	if got := k.Phys.InUse(); got != inUse {
+		t.Fatalf("frames in use after re-snapshots = %d, want %d (leaked references)", got, inUse)
+	}
+	if &m.snap.store.frames[0] != first {
+		t.Fatal("third snapshot did not reuse the first snapshot's recycled frame index")
+	}
+}

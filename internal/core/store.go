@@ -79,13 +79,14 @@ func (s *stateStore) content(vpn uint64, phys *mem.PhysMem) []byte {
 	return nil
 }
 
-// release drops the store's frame references (StoreCoW) when the snapshot is
-// replaced.
-func (s *stateStore) release(phys *mem.PhysMem) {
+// recycle drops the store's frame references (StoreCoW) and returns its
+// buffers truncated for reuse: the manager keeps them as its store pool so a
+// re-snapshot fills the same arena and index slices instead of reallocating.
+func (s *stateStore) recycle(phys *mem.PhysMem) stateStore {
 	for _, f := range s.frames {
 		phys.Unref(f)
 	}
-	s.frames = nil
+	return stateStore{vpns: s.vpns[:0], off: s.off[:0], arena: s.arena[:0], frames: s.frames[:0]}
 }
 
 // bytes reports the store's materialized memory: for the copy store, the

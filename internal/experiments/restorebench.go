@@ -11,13 +11,14 @@ import (
 )
 
 // RestoreBenchResult is the machine-readable summary of the steady-state
-// restore microbenchmark, emitted by `ghbench -e bench-restore` as
-// BENCH_restore.json. Wall-clock and allocation figures measure the real CPU
-// cost of the manager's hot path (the quantity the zero-allocation refactor
-// optimizes); the virtual duration is the simulated restore latency the
-// figures report.
+// restore microbenchmark, emitted by `ghbench -e bench-restore` as one entry
+// of BENCH_restore.json (one per write tracker). Wall-clock and allocation
+// figures measure the real CPU cost of the manager's hot path (the quantity
+// the zero-allocation refactor optimizes); the virtual duration is the
+// simulated restore latency the figures report.
 type RestoreBenchResult struct {
 	Benchmark        string  `json:"benchmark"`
+	Tracker          string  `json:"tracker"`
 	HeapPages        int     `json:"heap_pages"`
 	DirtyPerRequest  int     `json:"dirty_pages_per_request"`
 	Iterations       int     `json:"iterations"`
@@ -30,7 +31,13 @@ type RestoreBenchResult struct {
 	RestoredPages    int     `json:"restored_pages"`
 }
 
-// RestoreBench runs the steady-state restore scenario (fixed dirty set,
+// RestoreBench runs the steady-state restore scenario under the default
+// (soft-dirty) tracker; see RestoreBenchOpts.
+func RestoreBench(cfg Config, heapPages, dirtyPages, iters int) (RestoreBenchResult, error) {
+	return RestoreBenchOpts(cfg, heapPages, dirtyPages, iters, core.DefaultOptions())
+}
+
+// RestoreBenchOpts runs the steady-state restore scenario (fixed dirty set,
 // stable memory layout — the regime of Fig. 3 left; the exact workload is
 // internal/benchscenario, shared with the core package's allocation guards)
 // for iters iterations and reports wall time, heap allocations, and virtual
@@ -39,9 +46,10 @@ type RestoreBenchResult struct {
 // whole loop, but the request writes are allocation-free at steady state
 // (pre-materialized non-zero pages), so the rate is attributable to Restore;
 // the warm-up cycle inside the scenario builder has already sized the
-// manager's scratch buffers, making the steady-state expectation zero.
-func RestoreBench(cfg Config, heapPages, dirtyPages, iters int) (RestoreBenchResult, error) {
-	_, m, request, err := benchscenario.SteadyState(cfg.Cost, heapPages, dirtyPages, core.DefaultOptions())
+// manager's scratch buffers, making the steady-state expectation zero for
+// both trackers.
+func RestoreBenchOpts(cfg Config, heapPages, dirtyPages, iters int, opts core.Options) (RestoreBenchResult, error) {
+	_, m, request, err := benchscenario.SteadyState(cfg.Cost, heapPages, dirtyPages, opts)
 	if err != nil {
 		return RestoreBenchResult{}, err
 	}
@@ -64,6 +72,7 @@ func RestoreBench(cfg Config, heapPages, dirtyPages, iters int) (RestoreBenchRes
 	n := float64(iters)
 	return RestoreBenchResult{
 		Benchmark:        "restore-steady-state",
+		Tracker:          opts.Tracker.String(),
 		HeapPages:        heapPages,
 		DirtyPerRequest:  dirtyPages,
 		Iterations:       iters,
@@ -77,18 +86,51 @@ func RestoreBench(cfg Config, heapPages, dirtyPages, iters int) (RestoreBenchRes
 	}, nil
 }
 
-// RestoreBenchTable renders a RestoreBenchResult for the console.
-func RestoreBenchTable(r RestoreBenchResult) *metrics.Table {
+// RestoreBenchVariants runs the steady-state microbenchmark once per write
+// tracker — soft-dirty (the design the paper ships) and UFFD (the §4.3
+// ablation) — so BENCH_restore.json tracks both hot paths across commits.
+func RestoreBenchVariants(cfg Config, heapPages, dirtyPages, iters int) ([]RestoreBenchResult, error) {
+	var out []RestoreBenchResult
+	for _, tracker := range []core.TrackerKind{core.TrackSoftDirty, core.TrackUffd} {
+		opts := core.DefaultOptions()
+		opts.Tracker = tracker
+		r, err := RestoreBenchOpts(cfg, heapPages, dirtyPages, iters, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s tracker: %w", tracker, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RestoreBenchTable renders one or more RestoreBenchResults for the console,
+// one column per tracker variant.
+func RestoreBenchTable(results ...RestoreBenchResult) *metrics.Table {
+	if len(results) == 0 {
+		return metrics.NewTable("Steady-state restore microbenchmark (no results)", "metric")
+	}
+	r0 := results[0]
+	cols := []string{"metric"}
+	for _, r := range results {
+		cols = append(cols, r.Tracker)
+	}
 	t := metrics.NewTable(
 		fmt.Sprintf("Steady-state restore microbenchmark: %d-page heap, %d dirty pages/request, %d iterations",
-			r.HeapPages, r.DirtyPerRequest, r.Iterations),
-		"metric", "value")
-	t.AddRow("wall ns/restore", fmt.Sprintf("%.0f", r.WallNsPerRestore))
-	t.AddRow("allocs/restore", fmt.Sprintf("%.2f", r.AllocsPerRestore))
-	t.AddRow("alloc bytes/restore", fmt.Sprintf("%.1f", r.BytesPerRestore))
-	t.AddRow("virtual µs/restore", fmt.Sprintf("%.1f", r.VirtualUsPerOp))
-	t.AddRow("mapped pages", fmt.Sprintf("%d", r.MappedPages))
-	t.AddRow("dirty pages", fmt.Sprintf("%d", r.DirtyPages))
-	t.AddRow("restored pages", fmt.Sprintf("%d", r.RestoredPages))
+			r0.HeapPages, r0.DirtyPerRequest, r0.Iterations),
+		cols...)
+	row := func(name string, val func(RestoreBenchResult) string) {
+		cells := []string{}
+		for _, r := range results {
+			cells = append(cells, val(r))
+		}
+		t.AddRow(append([]string{name}, cells...)...)
+	}
+	row("wall ns/restore", func(r RestoreBenchResult) string { return fmt.Sprintf("%.0f", r.WallNsPerRestore) })
+	row("allocs/restore", func(r RestoreBenchResult) string { return fmt.Sprintf("%.2f", r.AllocsPerRestore) })
+	row("alloc bytes/restore", func(r RestoreBenchResult) string { return fmt.Sprintf("%.1f", r.BytesPerRestore) })
+	row("virtual µs/restore", func(r RestoreBenchResult) string { return fmt.Sprintf("%.1f", r.VirtualUsPerOp) })
+	row("mapped pages", func(r RestoreBenchResult) string { return fmt.Sprintf("%d", r.MappedPages) })
+	row("dirty pages", func(r RestoreBenchResult) string { return fmt.Sprintf("%d", r.DirtyPages) })
+	row("restored pages", func(r RestoreBenchResult) string { return fmt.Sprintf("%d", r.RestoredPages) })
 	return t
 }

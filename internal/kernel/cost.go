@@ -37,6 +37,13 @@ type CostModel struct {
 	PagemapPerPage   sim.Duration // scanning pagemap soft-dirty bits
 	PagemapRangeBase sim.Duration // per VMA-scoped pagemap read (seek to the range)
 	ClearRefsPerPage sim.Duration // write to /proc/pid/clear_refs, per PTE
+	// ResidentScanPerPage is the per-resident-page cost of checking which
+	// pages are paged in without reading soft-dirty bits (a mincore-style
+	// walk, cheaper than a pagemap read). The UFFD tracker pays it instead
+	// of the full pagemap scan: its dirty set comes from the fault
+	// handler's log, but newly paged-in pages must still be found for the
+	// madvise step of the restore.
+	ResidentScanPerPage sim.Duration
 
 	// Layout diffing (pure manager-side computation).
 	DiffPerVMA sim.Duration
@@ -112,9 +119,10 @@ func Default() CostModel {
 
 		ReadMapsBase:     90 * time.Microsecond,
 		ReadMapsPerVMA:   900 * time.Nanosecond,
-		PagemapPerPage:   60 * time.Nanosecond,
-		PagemapRangeBase: 250 * time.Nanosecond,
-		ClearRefsPerPage: 30 * time.Nanosecond,
+		PagemapPerPage:      60 * time.Nanosecond,
+		PagemapRangeBase:    250 * time.Nanosecond,
+		ClearRefsPerPage:    30 * time.Nanosecond,
+		ResidentScanPerPage: 25 * time.Nanosecond,
 
 		DiffPerVMA: 500 * time.Nanosecond,
 

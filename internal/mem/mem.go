@@ -249,6 +249,21 @@ func (p *PhysMem) RestoreRun(ids []FrameID, data []byte) {
 	}
 }
 
+// CopyRun overwrites frame dst[i] with the contents of src[i] for the whole
+// run in one call — the batch half of the frame-based restore path (the CoW
+// state store's PokeFrameRun): the caller hands one coalesced run of
+// destination and source frames, modeling a single kernel-side copy over the
+// span instead of one call per page. Lazily-zero sources propagate as lazy
+// zeros, as with Copy.
+func (p *PhysMem) CopyRun(dst, src []FrameID) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mem: CopyRun of %d dst frames with %d src frames", len(dst), len(src)))
+	}
+	for i, s := range src {
+		p.Copy(dst[i], s)
+	}
+}
+
 // Copy overwrites dst's contents with src's.
 func (p *PhysMem) Copy(dst, src FrameID) {
 	s := p.get(src)

@@ -19,16 +19,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"slices"
+	"strings"
 	"sync"
 
 	"groundhog/internal/catalog"
 	"groundhog/internal/faas"
 	"groundhog/internal/isolation"
 	"groundhog/internal/kernel"
+	"groundhog/internal/runtimes"
 )
 
-// Server multiplexes HTTP requests onto simulated platforms. The simulation
-// is single-threaded; a mutex serializes access.
+// Server multiplexes HTTP requests onto simulated platforms. Each platform
+// simulation is single-threaded, so a per-deployment mutex serializes
+// invocations of the same function × mode; unrelated deployments run
+// concurrently. The server's own mutex guards only the deployments map and
+// the deploy-time configuration.
 type Server struct {
 	mu    sync.Mutex
 	cost  kernel.CostModel
@@ -38,10 +44,19 @@ type Server struct {
 	deployments map[string]*deployment
 }
 
+// deployment is one function × mode platform. Its mutex covers the platform
+// (constructed lazily on the first invocation, so a slow cold start never
+// blocks the whole server) and the invocation counter.
 type deployment struct {
+	fn    string
+	mode  isolation.Mode
+	prof  runtimes.Profile
+	cost  kernel.CostModel
+	seed  uint64
+	trust bool
+
+	mu       sync.Mutex
 	platform *faas.Platform
-	fn       string
-	mode     isolation.Mode
 	invoked  int
 }
 
@@ -56,7 +71,11 @@ func New() *Server {
 
 // SetTrustSameCaller enables the §4.4 trusted-caller optimization on all
 // future deployments.
-func (s *Server) SetTrustSameCaller(on bool) { s.trust = on }
+func (s *Server) SetTrustSameCaller(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trust = on
+}
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -108,6 +127,22 @@ func (s *Server) handleModes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, isolation.Modes)
 }
 
+// validMode reports whether mode is one of isolation.Modes. Unknown values
+// are rejected up front with a 400 instead of surfacing as a generic deploy
+// error from strategy construction.
+func validMode(mode isolation.Mode) bool {
+	return slices.Contains(isolation.Modes, mode)
+}
+
+// modeList renders the allowed mode names for error messages.
+func modeList() string {
+	names := make([]string, len(isolation.Modes))
+	for i, m := range isolation.Modes {
+		names[i] = string(m)
+	}
+	return strings.Join(names, ", ")
+}
+
 // InvokeResponse is the JSON result of POST /invoke.
 type InvokeResponse struct {
 	Function     string  `json:"function"`
@@ -132,14 +167,28 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	if mode == "" {
 		mode = isolation.ModeGH
 	}
+	if !validMode(mode) {
+		http.Error(w, fmt.Sprintf("unknown mode %q; valid modes: %s", mode, modeList()),
+			http.StatusBadRequest)
+		return
+	}
 	caller := r.URL.Query().Get("caller")
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	dep, fresh, err := s.deployment(fn, mode)
+	dep, err := s.deployment(fn, mode)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	fresh := dep.platform == nil
+	if fresh {
+		if err := dep.deploy(); err != nil {
+			s.undeploy(dep)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 	}
 	st, err := dep.platform.InvokeOnce(caller)
 	if err != nil {
@@ -159,29 +208,56 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		VirtualTime:  dep.platform.Engine.Now().String(),
 	}
 	if fresh {
-		resp.ColdStartMS = float64(dep.platform.Containers()[0].ColdStart().Total) / 1e6
+		// A platform can reach zero containers (keep-alive expiry via
+		// RemoveContainer); report a zero cold start rather than panicking.
+		if cs := dep.platform.Containers(); len(cs) > 0 {
+			resp.ColdStartMS = float64(cs[0].ColdStart().Total) / 1e6
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// deployment returns (creating if needed) the platform for fn × mode.
-func (s *Server) deployment(fn string, mode isolation.Mode) (*deployment, bool, error) {
+// deployment returns (registering if needed) the deployment record for
+// fn × mode. Only the map is touched under the server lock; the platform
+// itself is constructed later under the deployment's own lock.
+func (s *Server) deployment(fn string, mode isolation.Mode) (*deployment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	key := fn + "|" + string(mode)
 	if dep, ok := s.deployments[key]; ok {
-		return dep, false, nil
+		return dep, nil
 	}
 	entry, err := catalog.Lookup(fn)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
-	pl, err := faas.NewPlatform(s.cost, entry.Prof, mode, 1, s.seed)
-	if err != nil {
-		return nil, false, fmt.Errorf("deploy %s under %s: %w", fn, mode, err)
+	dep := &deployment{
+		fn: fn, mode: mode, prof: entry.Prof,
+		cost: s.cost, seed: s.seed, trust: s.trust,
 	}
-	pl.TrustSameCaller = s.trust
-	dep := &deployment{platform: pl, fn: fn, mode: mode}
 	s.deployments[key] = dep
-	return dep, true, nil
+	return dep, nil
+}
+
+// undeploy removes a deployment whose platform construction failed, so the
+// next invocation retries and /deployments never lists a dead entry. The
+// caller holds dep.mu; lock ordering stays acyclic because no code path
+// acquires a deployment lock while holding s.mu.
+func (s *Server) undeploy(dep *deployment) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.deployments, dep.fn+"|"+string(dep.mode))
+}
+
+// deploy constructs the platform (the cold start). Caller holds d.mu.
+func (d *deployment) deploy() error {
+	pl, err := faas.NewPlatform(d.cost, d.prof, d.mode, 1, d.seed)
+	if err != nil {
+		return fmt.Errorf("deploy %s under %s: %w", d.fn, d.mode, err)
+	}
+	pl.TrustSameCaller = d.trust
+	d.platform = pl
+	return nil
 }
 
 // DeploymentInfo is one entry of the /deployments listing.
@@ -195,16 +271,30 @@ type DeploymentInfo struct {
 
 func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := []DeploymentInfo{}
+	deps := make([]*deployment, 0, len(s.deployments))
 	for _, dep := range s.deployments {
-		out = append(out, DeploymentInfo{
-			Function:    dep.fn,
-			Mode:        string(dep.mode),
-			Invoked:     dep.invoked,
-			ColdStartMS: float64(dep.platform.Containers()[0].ColdStart().Total) / 1e6,
-			VirtualTime: dep.platform.Engine.Now().String(),
-		})
+		deps = append(deps, dep)
+	}
+	s.mu.Unlock()
+
+	out := []DeploymentInfo{}
+	for _, dep := range deps {
+		dep.mu.Lock()
+		info := DeploymentInfo{
+			Function: dep.fn,
+			Mode:     string(dep.mode),
+			Invoked:  dep.invoked,
+		}
+		if dep.platform != nil {
+			// Zero containers (keep-alive expiry) reports a zero cold
+			// start instead of panicking the handler.
+			if cs := dep.platform.Containers(); len(cs) > 0 {
+				info.ColdStartMS = float64(cs[0].ColdStart().Total) / 1e6
+			}
+			info.VirtualTime = dep.platform.Engine.Now().String()
+		}
+		dep.mu.Unlock()
+		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

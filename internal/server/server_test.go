@@ -2,9 +2,13 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -162,6 +166,108 @@ func TestTrustedCallerOverHTTP(t *testing.T) {
 	}
 	if b.PreRestoreMS <= 0 {
 		t.Fatalf("caller switch did not pay deferred restore: %+v", b)
+	}
+}
+
+// TestInvokeRejectsUnknownMode: bad mode values must fail validation up
+// front with a 400 listing the allowed modes, not surface as a deploy error.
+func TestInvokeRejectsUnknownMode(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/invoke?fn="+url.QueryEscape("version (p)")+"&mode=bogus",
+		"application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown mode: status %d, want 400", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"bogus", "base", "gh", "fork", "faasm"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("error %q does not mention %q", body, want)
+		}
+	}
+	var deps []DeploymentInfo
+	get(t, ts.URL+"/deployments", &deps)
+	if len(deps) != 0 {
+		t.Fatalf("rejected mode left a deployment behind: %+v", deps)
+	}
+}
+
+// TestConcurrentInvokes is the regression test for the per-deployment
+// locking: invocations of unrelated deployments run concurrently, each
+// platform's single-threaded simulation stays serialized, and (under -race)
+// no shared state is touched without a lock.
+func TestConcurrentInvokes(t *testing.T) {
+	_, ts := testServer(t)
+	fns := []string{"get-time (p)", "version (p)", "md2html (p)"}
+	modes := []string{"gh", "base"}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(fns)*len(modes)*4)
+	for _, fn := range fns {
+		for _, mode := range modes {
+			u := ts.URL + "/invoke?fn=" + url.QueryEscape(fn) + "&mode=" + mode
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					resp, err := http.Post(u, "application/json", nil)
+					if err != nil {
+						errs <- err
+						return
+					}
+					defer resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						body, _ := io.ReadAll(resp.Body)
+						errs <- fmt.Errorf("%s: status %d: %s", u, resp.StatusCode, body)
+					}
+				}()
+			}
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	var deps []DeploymentInfo
+	get(t, ts.URL+"/deployments", &deps)
+	if len(deps) != len(fns)*len(modes) {
+		t.Fatalf("deployments = %d, want %d", len(deps), len(fns)*len(modes))
+	}
+	for _, d := range deps {
+		if d.Invoked != 4 {
+			t.Fatalf("deployment %s|%s invoked %d times, want 4", d.Function, d.Mode, d.Invoked)
+		}
+	}
+}
+
+// TestZeroContainerDeployment: a platform drained by keep-alive expiry
+// (RemoveContainer) must not panic the handlers — /deployments reports a
+// zero cold start and /invoke fails with a 500, not a crash.
+func TestZeroContainerDeployment(t *testing.T) {
+	s, ts := testServer(t)
+	u := ts.URL + "/invoke?fn=" + url.QueryEscape("version (p)") + "&mode=gh"
+	post(t, u, nil)
+
+	dep := s.deployments["version (p)|gh"]
+	if dep == nil {
+		t.Fatal("deployment not registered")
+	}
+	dep.platform.RemoveContainer(dep.platform.Containers()[0])
+
+	var deps []DeploymentInfo
+	if resp := get(t, ts.URL+"/deployments", &deps); resp.StatusCode != http.StatusOK {
+		t.Fatalf("deployments with zero containers: status %d", resp.StatusCode)
+	}
+	if len(deps) != 1 || deps[0].ColdStartMS != 0 {
+		t.Fatalf("zero-container deployment listing = %+v, want one entry with zero cold start", deps)
+	}
+	if resp := post(t, u, nil); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("invoke on drained platform: status %d, want 500", resp.StatusCode)
 	}
 }
 

@@ -220,6 +220,10 @@ func (as *AddressSpace) Mremap(start Addr, oldBytes, newBytes int) (Addr, error)
 		return 0, err
 	}
 	as.mmapNext = dst
+	// Relocating PTEs carries soft-dirty bits to new page numbers the dirty
+	// log cannot know about; disarm it so dirty reads fall back to the exact
+	// page-table walk until the next ClearSoftDirty re-arms.
+	as.dirtyLogArmed = false
 	for vpn := start.PageNum(); vpn < (start + Addr(oldSize)).PageNum(); vpn++ {
 		pte, ok := as.pages[vpn]
 		if !ok {

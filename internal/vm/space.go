@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"groundhog/internal/mem"
@@ -64,9 +65,25 @@ type AddressSpace struct {
 
 	faults FaultStats
 
-	// runFrames is the reusable frame scratch for PokePageRun, so the
-	// steady-state restore path performs no heap allocations.
+	// runFrames is the reusable frame scratch for PokePageRun and
+	// PokeFrameRun, so the steady-state restore path performs no heap
+	// allocations.
 	runFrames []mem.FrameID
+
+	// dirtyLog is the incremental dirty set maintained under UFFD tracking:
+	// every write fault that turns a page's soft-dirty bit on appends the
+	// page number here — the simulated equivalent of the user-space fault
+	// handler accumulating the dirty set during the request, which is why
+	// UFFD dirty-set reads cost per dirty page instead of a pagemap scan.
+	// ClearSoftDirty arms (and truncates) the log; AppendSoftDirtyVPNs
+	// reads it, sorting lazily and validating entries against the page
+	// table so dropped pages and drop-then-redirty duplicates never leak
+	// into the result. Page-table surgery that relocates PTEs (mremap's
+	// move path) disarms the log, falling back to the exact map walk until
+	// the next re-arm.
+	dirtyLog       []uint64
+	dirtyLogSorted bool
+	dirtyLogArmed  bool
 }
 
 // New returns an empty address space backed by phys with the given cost
@@ -101,8 +118,16 @@ func (as *AddressSpace) ResetFaults() { as.faults = FaultStats{} }
 
 // SetUffdTracking selects userfaultfd-style write tracking (see
 // Costs.UffdFault). Soft-dirty bookkeeping is unchanged; only the per-fault
-// cost and the manager's collection strategy differ.
-func (as *AddressSpace) SetUffdTracking(on bool) { as.uffd = on }
+// cost and the manager's collection strategy differ. Switching invalidates
+// the dirty log until the next ClearSoftDirty re-arms it, since the log only
+// covers faults taken while the user-space handler was registered.
+func (as *AddressSpace) SetUffdTracking(on bool) {
+	if on != as.uffd {
+		as.dirtyLog = as.dirtyLog[:0]
+		as.dirtyLogArmed = false
+	}
+	as.uffd = on
+}
 
 // UffdTracking reports whether UFFD tracking is selected.
 func (as *AddressSpace) UffdTracking() bool { return as.uffd }
@@ -300,10 +325,23 @@ func (as *AddressSpace) fault(vpn uint64, write bool) PTE {
 			}
 			pte.wpArmed = false
 		}
+		if !pte.SoftDirty && as.dirtyLogArmed {
+			as.logDirty(vpn)
+		}
 		pte.SoftDirty = true
 	}
 	as.pages[vpn] = pte
 	return pte
+}
+
+// logDirty appends vpn to the dirty log, tracking whether insertion order
+// has stayed sorted (sequential write patterns keep it sorted for free; the
+// occasional out-of-order epoch is sorted lazily at read time).
+func (as *AddressSpace) logDirty(vpn uint64) {
+	if n := len(as.dirtyLog); n > 0 && vpn < as.dirtyLog[n-1] {
+		as.dirtyLogSorted = false
+	}
+	as.dirtyLog = append(as.dirtyLog, vpn)
 }
 
 // ReadWord loads the 8-byte word at a, taking faults as needed.
@@ -348,12 +386,19 @@ func (as *AddressSpace) PTEAt(vpn uint64) (PTE, bool) {
 
 // ResidentVPNs returns the sorted list of resident virtual page numbers.
 func (as *AddressSpace) ResidentVPNs() []uint64 {
-	vpns := make([]uint64, 0, len(as.pages))
+	return as.AppendResidentVPNs(make([]uint64, 0, len(as.pages)))
+}
+
+// AppendResidentVPNs appends the sorted resident virtual page numbers to dst
+// and returns the extended slice. Callers that reuse dst across calls read
+// the resident set without allocating.
+func (as *AddressSpace) AppendResidentVPNs(dst []uint64) []uint64 {
+	start := len(dst)
 	for vpn := range as.pages {
-		vpns = append(vpns, vpn)
+		dst = append(dst, vpn)
 	}
-	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
-	return vpns
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // PeekPage copies the contents of page vpn into a fresh buffer, or returns
@@ -436,14 +481,19 @@ func (as *AddressSpace) PokePageRun(startVPN uint64, n int, data []byte) {
 
 // PokeFrameRun overwrites the consecutive pages starting at startVPN with the
 // contents of the caller-owned frames in src (the CoW state store's batch
-// restore). Like PokePageRun it is one kernel-side call per run.
+// restore). Like PokePageRun it is one kernel-side call per run: destination
+// frames are gathered into the reusable run scratch and handed to PhysMem as
+// one batched CopyRun over the whole coalesced span.
 func (as *AddressSpace) PokeFrameRun(startVPN uint64, src []mem.FrameID) {
-	for i, f := range src {
+	frames := as.runFrames[:0]
+	for i := range src {
 		vpn := startVPN + uint64(i)
 		pte := as.pokePTE(vpn)
-		as.phys.Copy(pte.Frame, f)
 		as.pages[vpn] = pte
+		frames = append(frames, pte.Frame)
 	}
+	as.phys.CopyRun(frames, src)
+	as.runFrames = frames[:0]
 }
 
 // ShareFrameCoW hands the caller a reference to vpn's backing frame and
@@ -486,26 +536,66 @@ func (as *AddressSpace) DropPage(vpn uint64) {
 // ClearSoftDirty clears every resident page's soft-dirty bit and write-
 // protects it so the next write faults and re-records the bit. It returns
 // the number of entries walked. This models writing "4" to
-// /proc/pid/clear_refs.
+// /proc/pid/clear_refs. Under UFFD tracking it also arms the dirty log: the
+// write-protect faults taken from here on accumulate the next epoch's dirty
+// set incrementally, so reading it back never walks the page table.
 func (as *AddressSpace) ClearSoftDirty() int {
 	for vpn, pte := range as.pages {
 		pte.SoftDirty = false
 		pte.wpArmed = true
 		as.pages[vpn] = pte
 	}
+	as.dirtyLog = as.dirtyLog[:0]
+	as.dirtyLogSorted = true
+	as.dirtyLogArmed = as.uffd
 	return len(as.pages)
 }
 
+// DirtyLogArmed reports whether the dirty log covers the current epoch, i.e.
+// AppendSoftDirtyVPNs will read the log rather than fall back to the page-
+// table walk. The manager uses this to charge the UFFD scan phase honestly:
+// per dirty page while the log holds, pagemap-scan prices after something
+// (an mremap move, a tracking switch) invalidated it.
+func (as *AddressSpace) DirtyLogArmed() bool { return as.dirtyLogArmed }
+
 // SoftDirtyVPNs returns the sorted page numbers whose soft-dirty bit is set.
 func (as *AddressSpace) SoftDirtyVPNs() []uint64 {
-	var vpns []uint64
-	for vpn, pte := range as.pages {
-		if pte.SoftDirty {
-			vpns = append(vpns, vpn)
+	return as.AppendSoftDirtyVPNs(nil)
+}
+
+// AppendSoftDirtyVPNs appends the sorted page numbers whose soft-dirty bit
+// is set to dst and returns the extended slice. When the dirty log is armed
+// (UFFD tracking, since the last ClearSoftDirty) the result comes from the
+// log — cost proportional to the dirty set, never a page-table walk;
+// otherwise it falls back to the exact map walk. Either way the appended
+// region is sorted and duplicate-free, and callers that reuse dst across
+// calls read the dirty set without allocating.
+func (as *AddressSpace) AppendSoftDirtyVPNs(dst []uint64) []uint64 {
+	start := len(dst)
+	if !as.dirtyLogArmed {
+		for vpn, pte := range as.pages {
+			if pte.SoftDirty {
+				dst = append(dst, vpn)
+			}
+		}
+		slices.Sort(dst[start:])
+		return dst
+	}
+	if !as.dirtyLogSorted {
+		slices.Sort(as.dirtyLog)
+		as.dirtyLogSorted = true
+	}
+	for _, vpn := range as.dirtyLog {
+		if n := len(dst); n > start && dst[n-1] == vpn {
+			continue // logged twice: dropped and re-dirtied within the epoch
+		}
+		// A logged page may have been dropped (madvise DONTNEED) since the
+		// fault; only pages still resident and dirty count.
+		if pte, ok := as.pages[vpn]; ok && pte.SoftDirty {
+			dst = append(dst, vpn)
 		}
 	}
-	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
-	return vpns
+	return dst
 }
 
 // --- invariants -------------------------------------------------------------
