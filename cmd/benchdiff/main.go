@@ -1,0 +1,62 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares a
+// freshly generated benchmark JSON summary against its committed baseline
+// and exits non-zero on any allocation-count regression, >25% (by default)
+// drift of a deterministic virtual cost or frame count, or a shape change.
+//
+// Usage:
+//
+//	benchdiff -baseline bench/baselines/BENCH_restore.json -current BENCH_restore.json
+//	benchdiff -baseline bench/baselines/BENCH_coldstart.json -current BENCH_coldstart.json -max-drift 0.25
+//
+// Wall-clock and allocation-byte figures are machine-dependent and ignored;
+// see internal/benchdiff for the full per-field policy. To re-baseline after
+// an intentional performance change, regenerate the JSON with the same
+// ghbench flags CI uses and copy it over the file in bench/baselines/.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"groundhog/internal/benchdiff"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline JSON (required)")
+		currentPath  = flag.String("current", "", "freshly generated JSON (required)")
+		maxDrift     = flag.Float64("max-drift", benchdiff.DefaultMaxDrift,
+			"relative drift tolerance for virtual costs and frame counts")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := os.ReadFile(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	violations, err := benchdiff.Compare(baseline, current, *maxDrift)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s vs %s: %d violation(s)\n",
+			*currentPath, *baselinePath, len(violations))
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %s matches %s\n", *currentPath, *baselinePath)
+}

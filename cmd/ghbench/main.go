@@ -29,6 +29,7 @@ var experimentNames = []string{
 	"table1", "table2", "table3", "headline",
 	"ablation-uffd", "ablation-coalesce", "ablation-trust", "ablation-statestore",
 	"ablation-timevirt", "loadsweep", "related-work", "fleet", "bench-restore",
+	"bench-coldstart",
 }
 
 func main() {
@@ -41,6 +42,8 @@ func main() {
 	)
 	flag.StringVar(&restoreJSONPath, "restore-json", "BENCH_restore.json",
 		"output path for the bench-restore JSON summary (empty disables)")
+	flag.StringVar(&coldstartJSONPath, "coldstart-json", "BENCH_coldstart.json",
+		"output path for the bench-coldstart JSON summary (empty disables)")
 	flag.Parse()
 
 	if *list {
@@ -165,6 +168,8 @@ func run(cfg experiments.Config, names []string, quick bool) error {
 			tb, err = experiments.AblationTimeVirt(cfg)
 		case "bench-restore":
 			tb, err = benchRestore(cfg, quick)
+		case "bench-coldstart":
+			tb, err = benchColdStart(cfg)
 		default:
 			return fmt.Errorf("unknown experiment %q (try -list)", name)
 		}
@@ -203,4 +208,30 @@ func benchRestore(cfg experiments.Config, quick bool) (*metrics.Table, error) {
 		fmt.Fprintf(os.Stderr, "ghbench: wrote %s\n", restoreJSONPath)
 	}
 	return experiments.RestoreBenchTable(res...), nil
+}
+
+// coldstartJSONPath is where benchColdStart writes its summary.
+var coldstartJSONPath string
+
+// benchColdStart runs the snapshot-clone scale-out benchmark — full Fig. 1
+// cold start vs. clone cold start, plus fleet memory at 1/4/16 containers —
+// and writes BENCH_coldstart.json so CI can gate on cold-start cost and
+// frame-sharing regressions. The sweep is deterministic virtual time, so
+// quick mode needs no reduction.
+func benchColdStart(cfg experiments.Config) (*metrics.Table, error) {
+	tb, res, err := experiments.ColdStartScaleOut(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if coldstartJSONPath != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(coldstartJSONPath, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "ghbench: wrote %s\n", coldstartJSONPath)
+	}
+	return tb, nil
 }

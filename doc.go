@@ -70,4 +70,54 @@
 // µs/restore, page counters) for tracking across commits:
 //
 //	go run ./cmd/ghbench -e bench-restore
+//
+// # Snapshot-clone cold starts
+//
+// Every container of a deployment used to pay the full Fig. 1 pipeline —
+// environment instantiation, runtime initialization, data initialization,
+// snapshot — even though siblings of the same function end up with
+// byte-identical snapshots. Scale-out now clones instead: the deployment's
+// first container runs the pipeline once and its manager exports a
+// core.SnapshotImage (for the CoW state store, references to the already
+// frozen frames; for the copy store, frames materialized once from the
+// arena, with all-zero pages sharing a single lazily-zero frame, like the
+// kernel zero page). Each further container is spawned directly from the
+// image — kernel.Kernel.SpawnFromImage builds the address space from the
+// recorded layout (vm.NewFromLayout) and maps every recorded page
+// copy-on-write onto the image's frames (vm.AddressSpace.MapFrameCoW) — and
+// core.NewManagerFromSnapshot leaves its manager exactly where TakeSnapshot
+// leaves a fully-initialized sibling's, with the clone's state store sharing
+// the same frames. The honest price is kernel.CostModel.CloneFromSnapshotBase
+// plus ClonePTEPerPage per page: hundreds of microseconds against hundreds
+// of milliseconds, and fleet physical memory grows with the pages containers
+// actually dirty rather than with the container count.
+//
+// faas.Platform gates the path behind CloneScaleOut (the paper's experiments
+// measure full cold starts); with it enabled, AddContainer clones from the
+// sibling snapshot, ColdStartStats.ClonedFrom names the donor, and
+// Platform.Memory reports the fleet's state-store bytes, resident pages, and
+// cross-container shared frames (also surfaced per deployment by
+// cmd/ghserve's /deployments endpoint). The equivalence guarantee — a cloned
+// container and a fully-initialized sibling serve the same requests with
+// identical RestoreStats page counts, under both trackers — is pinned by
+// TestCloneEquivalence (core) and TestCloneEquivalentRestores (faas). The
+// scale-out sweep is exported as a benchmark that writes
+// BENCH_coldstart.json (full vs. clone virtual µs, fleet frames in use at
+// 1/4/16 containers):
+//
+//	go run ./cmd/ghbench -e bench-coldstart
+//
+// # Benchmark regression gate
+//
+// Committed baselines for both benchmark JSONs live under bench/baselines/,
+// generated with the exact flags CI uses (-quick). CI regenerates the JSONs
+// on every push and runs cmd/benchdiff against the baselines; any
+// allocation-count regression, any >25% drift of a deterministic virtual
+// cost or fleet frame count (in either direction), and any shape change
+// fails the build, while machine-dependent wall-clock and byte figures are
+// ignored. After an intentional performance change, re-baseline by
+// regenerating and committing the files:
+//
+//	go run ./cmd/ghbench -e bench-restore -quick -restore-json bench/baselines/BENCH_restore.json
+//	go run ./cmd/ghbench -e bench-coldstart -quick -coldstart-json bench/baselines/BENCH_coldstart.json
 package groundhog

@@ -1,0 +1,181 @@
+// Package benchdiff compares freshly generated benchmark JSON summaries
+// (BENCH_restore.json, BENCH_coldstart.json) against committed baselines
+// (bench/baselines/) and reports regressions. It is the library behind
+// cmd/benchdiff, the CI benchmark gate.
+//
+// Both documents are flattened into path -> leaf maps (array elements by
+// index, e.g. "[0].fleet[2].frames_in_use") and every baseline leaf is
+// checked against the current run under per-field policies keyed by the
+// leaf's name:
+//
+//   - allocation counters (name contains "allocs"): any increase beyond a
+//     small absolute slack fails — the zero-allocation hot paths must stay
+//     zero-allocation;
+//   - deterministic virtual costs (name ends in "_us" or contains
+//     "virtual") and physical frame counts ("frames_in_use"): relative
+//     drift beyond the threshold fails in either direction — improvements
+//     require an intentional re-baseline, exactly like regressions;
+//   - identity strings (benchmark/tracker/mode names): must match exactly;
+//   - wall-clock and byte counters: machine-dependent, informational only.
+//
+// A baseline leaf missing from the current run fails; metrics added by new
+// code are ignored until they are baselined.
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AllocSlack is the absolute tolerance on allocation counters: runtime
+// background activity can add fractional allocs/op to a zero-allocation
+// path's measurement without indicating a regression.
+const AllocSlack = 0.5
+
+// DefaultMaxDrift is the default relative tolerance for deterministic
+// virtual-cost and frame-count metrics.
+const DefaultMaxDrift = 0.25
+
+// Violation is one failed comparison.
+type Violation struct {
+	Path     string
+	Baseline string
+	Current  string
+	Reason   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: baseline %s, current %s: %s", v.Path, v.Baseline, v.Current, v.Reason)
+}
+
+// Compare checks a current benchmark JSON document against its baseline and
+// returns the violations, ordered by path. maxDrift <= 0 selects
+// DefaultMaxDrift.
+func Compare(baseline, current []byte, maxDrift float64) ([]Violation, error) {
+	if maxDrift <= 0 {
+		maxDrift = DefaultMaxDrift
+	}
+	var bdoc, cdoc any
+	if err := json.Unmarshal(baseline, &bdoc); err != nil {
+		return nil, fmt.Errorf("benchdiff: baseline: %w", err)
+	}
+	if err := json.Unmarshal(current, &cdoc); err != nil {
+		return nil, fmt.Errorf("benchdiff: current: %w", err)
+	}
+	bleaves := map[string]any{}
+	cleaves := map[string]any{}
+	flatten("", bdoc, bleaves)
+	flatten("", cdoc, cleaves)
+
+	var out []Violation
+	paths := make([]string, 0, len(bleaves))
+	for p := range bleaves {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		bv := bleaves[p]
+		cv, ok := cleaves[p]
+		if !ok {
+			out = append(out, Violation{Path: p, Baseline: leafString(bv), Current: "-",
+				Reason: "metric missing from current run"})
+			continue
+		}
+		if v, bad := check(p, bv, cv, maxDrift); bad {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// flatten records every leaf of a decoded JSON document under its path.
+func flatten(path string, v any, out map[string]any) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			p := k
+			if path != "" {
+				p = path + "." + k
+			}
+			flatten(p, sub, out)
+		}
+	case []any:
+		for i, sub := range x {
+			flatten(fmt.Sprintf("%s[%d]", path, i), sub, out)
+		}
+	default:
+		out[path] = v
+	}
+}
+
+// leafName extracts the final field name of a flattened path.
+func leafName(path string) string {
+	name := path
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		name = name[i+1:]
+	}
+	if i := strings.Index(name, "["); i >= 0 {
+		name = name[:i]
+	}
+	return name
+}
+
+// check applies the per-field policy to one (baseline, current) leaf pair.
+func check(path string, bv, cv any, maxDrift float64) (Violation, bool) {
+	bn, bIsNum := bv.(float64)
+	cn, cIsNum := cv.(float64)
+	if !bIsNum || !cIsNum {
+		if leafString(bv) != leafString(cv) {
+			return Violation{Path: path, Baseline: leafString(bv), Current: leafString(cv),
+				Reason: "identity changed; entries no longer comparable"}, true
+		}
+		return Violation{}, false
+	}
+	name := strings.ToLower(leafName(path))
+	switch {
+	case strings.Contains(name, "allocs"):
+		if cn > bn+AllocSlack {
+			return Violation{Path: path, Baseline: fmtNum(bn), Current: fmtNum(cn),
+				Reason: "allocation-count regression"}, true
+		}
+	case strings.HasSuffix(name, "_us") || strings.Contains(name, "virtual") ||
+		name == "frames_in_use":
+		var drift float64
+		switch {
+		case bn != 0:
+			drift = (cn - bn) / bn
+		case cn != 0:
+			drift = 1 // zero baseline, nonzero current: full drift
+		}
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift > maxDrift {
+			return Violation{Path: path, Baseline: fmtNum(bn), Current: fmtNum(cn),
+				Reason: fmt.Sprintf("drift %.1f%% exceeds %.0f%% (re-baseline if intentional)",
+					drift*100, maxDrift*100)}, true
+		}
+	}
+	// Everything else (wall_ns, alloc bytes, derived ratios, page counts
+	// already pinned by tests) is informational.
+	return Violation{}, false
+}
+
+func fmtNum(f float64) string {
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+func leafString(v any) string {
+	if v == nil {
+		return "null"
+	}
+	if f, ok := v.(float64); ok {
+		return fmtNum(f)
+	}
+	return fmt.Sprintf("%v", v)
+}

@@ -1,0 +1,132 @@
+package benchdiff
+
+import (
+	"strings"
+	"testing"
+)
+
+// baseline mirrors the shape of BENCH_restore.json (flat array) and
+// BENCH_coldstart.json (nested fleet array) in one document.
+const baseline = `[
+  {
+    "benchmark": "restore-steady-state",
+    "tracker": "soft-dirty",
+    "iterations": 500,
+    "wall_ns_per_restore": 41000,
+    "allocs_per_restore": 0,
+    "alloc_bytes_per_restore": 12.5,
+    "virtual_us_per_restore": 812.4,
+    "restored_pages": 128
+  },
+  {
+    "benchmark": "coldstart",
+    "mode": "gh",
+    "full_cold_start_virtual_us": 632349,
+    "steady_clone_virtual_us": 999.7,
+    "fleet": [
+      {"containers": 1, "frames_in_use": 3191},
+      {"containers": 16, "frames_in_use": 3192}
+    ]
+  }
+]`
+
+func mustCompare(t *testing.T, cur string) []Violation {
+	t.Helper()
+	vs, err := Compare([]byte(baseline), []byte(cur), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}
+
+func TestIdenticalRunsPass(t *testing.T) {
+	if vs := mustCompare(t, baseline); len(vs) != 0 {
+		t.Fatalf("identical runs produced violations: %v", vs)
+	}
+}
+
+func TestMachineDependentFieldsIgnored(t *testing.T) {
+	cur := strings.Replace(baseline, `"wall_ns_per_restore": 41000`, `"wall_ns_per_restore": 410000`, 1)
+	cur = strings.Replace(cur, `"alloc_bytes_per_restore": 12.5`, `"alloc_bytes_per_restore": 999`, 1)
+	if vs := mustCompare(t, cur); len(vs) != 0 {
+		t.Fatalf("wall/byte noise flagged: %v", vs)
+	}
+}
+
+// TestInjectedAllocRegressionFails is the acceptance demonstration: the gate
+// catches an injected allocation regression on the zero-alloc hot path.
+func TestInjectedAllocRegressionFails(t *testing.T) {
+	cur := strings.Replace(baseline, `"allocs_per_restore": 0`, `"allocs_per_restore": 3`, 1)
+	vs := mustCompare(t, cur)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "allocation-count regression") {
+		t.Fatalf("injected alloc regression not caught: %v", vs)
+	}
+	// Sub-slack jitter is tolerated.
+	cur = strings.Replace(baseline, `"allocs_per_restore": 0`, `"allocs_per_restore": 0.2`, 1)
+	if vs := mustCompare(t, cur); len(vs) != 0 {
+		t.Fatalf("background-alloc jitter flagged: %v", vs)
+	}
+}
+
+// TestInjectedVirtualCostDriftFails: >25% drift on a deterministic virtual
+// cost fails in both directions.
+func TestInjectedVirtualCostDriftFails(t *testing.T) {
+	cur := strings.Replace(baseline, `"virtual_us_per_restore": 812.4`, `"virtual_us_per_restore": 1100`, 1)
+	vs := mustCompare(t, cur)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "drift") {
+		t.Fatalf("injected slowdown not caught: %v", vs)
+	}
+	// A large improvement also demands an intentional re-baseline.
+	cur = strings.Replace(baseline, `"full_cold_start_virtual_us": 632349`, `"full_cold_start_virtual_us": 100`, 1)
+	if vs := mustCompare(t, cur); len(vs) != 1 {
+		t.Fatalf("large improvement slipped through: %v", vs)
+	}
+	// Drift inside the threshold passes.
+	cur = strings.Replace(baseline, `"virtual_us_per_restore": 812.4`, `"virtual_us_per_restore": 900`, 1)
+	if vs := mustCompare(t, cur); len(vs) != 0 {
+		t.Fatalf("in-threshold drift flagged: %v", vs)
+	}
+}
+
+// TestFrameSharingRegressionFails: the nested fleet frame counts are gated,
+// so losing cross-container sharing (frames ballooning at 16 containers)
+// fails the build.
+func TestFrameSharingRegressionFails(t *testing.T) {
+	cur := strings.Replace(baseline, `{"containers": 16, "frames_in_use": 3192}`,
+		`{"containers": 16, "frames_in_use": 51056}`, 1)
+	vs := mustCompare(t, cur)
+	if len(vs) != 1 || !strings.Contains(vs[0].Path, "fleet[1].frames_in_use") {
+		t.Fatalf("frame-sharing regression not caught: %v", vs)
+	}
+}
+
+func TestMissingAndRelabeledEntriesFail(t *testing.T) {
+	cur := strings.Replace(baseline, `"tracker": "soft-dirty"`, `"tracker": "uffd"`, 1)
+	vs := mustCompare(t, cur)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "identity") {
+		t.Fatalf("relabeled entry not caught: %v", vs)
+	}
+	// restored_pages is informational, but its absence is still a shape
+	// change the gate reports.
+	cur = strings.Replace(baseline, `,
+    "restored_pages": 128`, ``, 1)
+	vs = mustCompare(t, cur)
+	found := false
+	for _, v := range vs {
+		if strings.Contains(v.Reason, "missing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing metric not reported: %v", vs)
+	}
+}
+
+func TestMalformedJSONRejected(t *testing.T) {
+	if _, err := Compare([]byte(`{`), []byte(baseline), 0); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+	if _, err := Compare([]byte(baseline), []byte(`nope`), 0); err == nil {
+		t.Fatal("malformed current accepted")
+	}
+}

@@ -161,9 +161,13 @@ type RestoreStats struct {
 type snapshot struct {
 	layout []vm.VMA
 	brk    vm.Addr
-	regs   map[int]kernel.Regs // by TID
-	store  stateStore
-	stats  SnapshotStats
+	// mmapBase is the address space's mmap placement cursor at snapshot
+	// time, recorded so that a container cloned from this snapshot places
+	// future mappings exactly where the donor would have.
+	mmapBase vm.Addr
+	regs     map[int]kernel.Regs // by TID
+	store    stateStore
+	stats    SnapshotStats
 }
 
 // Manager is the Groundhog manager process for one function process
@@ -328,6 +332,7 @@ func (m *Manager) TakeSnapshot() (SnapshotStats, error) {
 	if snap.brk, err = m.proc.AS.Brk(0); err != nil {
 		return SnapshotStats{}, err
 	}
+	snap.mmapBase = m.proc.AS.MmapBase()
 
 	// (d) reset write tracking, then resume.
 	m.fs.ClearRefs(m.proc, meter)

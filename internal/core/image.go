@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"groundhog/internal/kernel"
+	"groundhog/internal/mem"
+	"groundhog/internal/procfs"
+	"groundhog/internal/ptrace"
+	"groundhog/internal/sim"
+	"groundhog/internal/vm"
+)
+
+// SnapshotImage is a self-contained, shareable copy of a manager's snapshot:
+// the memory layout and anchors, per-thread registers, and one frame per
+// recorded page, held copy-on-write. Sibling containers of the same function
+// are spawned from it (NewManagerFromSnapshot) without re-running
+// environment, runtime, or data initialization — and every clone maps the
+// image's frames CoW, so a fleet's physical memory grows with the pages
+// containers actually dirty, not with the container count.
+//
+// The image owns one reference per frame entry; Release drops them. It stays
+// valid after the donor container (and even its manager) is gone.
+type SnapshotImage struct {
+	phys     *mem.PhysMem
+	layout   []vm.VMA
+	brkBase  vm.Addr
+	brk      vm.Addr
+	mmapBase vm.Addr
+	regs     []kernel.Regs
+	vpns     []uint64
+	frames   []mem.FrameID
+	released bool
+}
+
+// Pages reports the number of recorded pages in the image.
+func (img *SnapshotImage) Pages() int { return len(img.vpns) }
+
+// VMAs reports the number of memory regions in the image.
+func (img *SnapshotImage) VMAs() int { return len(img.layout) }
+
+// Release drops the image's frame references. Processes already spawned from
+// the image keep their own references and are unaffected.
+func (img *SnapshotImage) Release() {
+	if img.released {
+		return
+	}
+	img.released = true
+	for _, f := range img.frames {
+		img.phys.Unref(f)
+	}
+	img.frames = nil
+}
+
+// ExportImage copies the manager's snapshot into a shareable SnapshotImage.
+//
+// For the CoW state store (§5.5) the export is almost free: the snapshot
+// already *is* a set of frozen frames, so the image just takes references
+// (SnapshotCoWPerPage each). For the eager copy store the page contents live
+// in the manager's arena, not in frames, so the export materializes one frame
+// per non-zero page (SnapshotPerPage each — a one-time, per-deployment cost
+// amortized across every subsequent clone); all-zero pages share a single
+// lazily-zero frame, the moral equivalent of the kernel zero page.
+func (m *Manager) ExportImage(meter *sim.Meter) (*SnapshotImage, error) {
+	if m.snap == nil {
+		return nil, fmt.Errorf("core: export before snapshot")
+	}
+	snap := m.snap
+	phys := m.kern.Phys
+	img := &SnapshotImage{
+		phys:     phys,
+		layout:   append([]vm.VMA(nil), snap.layout...),
+		brkBase:  m.proc.AS.HeapBase(),
+		brk:      snap.brk,
+		mmapBase: snap.mmapBase,
+		vpns:     append([]uint64(nil), snap.store.vpns...),
+		frames:   make([]mem.FrameID, 0, len(snap.store.vpns)),
+	}
+	for _, th := range m.proc.Threads {
+		regs, ok := snap.regs[th.TID]
+		if !ok {
+			return nil, fmt.Errorf("core: export: thread %d not in snapshot", th.TID)
+		}
+		img.regs = append(img.regs, regs)
+	}
+
+	st := &snap.store
+	if st.frames != nil {
+		for _, f := range st.frames {
+			phys.Ref(f)
+			img.frames = append(img.frames, f)
+		}
+		sim.ChargeTo(meter, m.kern.Cost.SnapshotCoWPerPage*sim.Duration(len(st.frames)))
+		return img, nil
+	}
+	var zeroFrame mem.FrameID
+	for i := range st.vpns {
+		if st.off[i] < 0 {
+			// All-zero page: every such page shares one lazily-zero frame,
+			// charged like a CoW reference (the refcount bump is the same
+			// work whether the frame holds content or not).
+			if zeroFrame == mem.NoFrame {
+				zeroFrame = phys.Alloc()
+			} else {
+				phys.Ref(zeroFrame)
+			}
+			img.frames = append(img.frames, zeroFrame)
+			sim.ChargeTo(meter, m.kern.Cost.SnapshotCoWPerPage)
+			continue
+		}
+		f := phys.Alloc()
+		phys.RestoreInto(f, st.arena[st.off[i]:st.off[i]+mem.PageSize])
+		img.frames = append(img.frames, f)
+		sim.ChargeTo(meter, m.kern.Cost.SnapshotPerPage)
+	}
+	return img, nil
+}
+
+// NewManagerFromSnapshot is the snapshot-clone cold start: it spawns a fresh
+// process whose address space maps the image's frames copy-on-write
+// (kernel.SpawnFromImage, charging CloneFromSnapshotBase + ClonePTEPerPage
+// per page), seizes it, installs a state store that shares the image's
+// frames, and arms write tracking — leaving the manager exactly where
+// TakeSnapshot leaves a fully-initialized sibling, at a small fraction of
+// the cost. Init/TakeSnapshot must NOT be called on the result; the snapshot
+// is already present.
+func NewManagerFromSnapshot(k *kernel.Kernel, img *SnapshotImage, opts Options, meter *sim.Meter) (*Manager, error) {
+	if img == nil || img.released {
+		return nil, fmt.Errorf("core: clone from released snapshot image")
+	}
+	proc, err := k.SpawnFromImage(kernel.ProcessImage{
+		Layout:   img.layout,
+		BrkBase:  img.brkBase,
+		Brk:      img.brk,
+		MmapBase: img.mmapBase,
+		VPNs:     img.vpns,
+		Frames:   img.frames,
+		Regs:     img.regs,
+	}, meter)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := ptrace.Seize(k, proc, meter)
+	if err != nil {
+		k.Exit(proc)
+		return nil, err
+	}
+	if opts.Tracker == TrackUffd {
+		proc.AS.SetUffdTracking(true)
+	}
+	m := &Manager{kern: k, fs: procfs.New(k), proc: proc, opts: opts, tracer: tr}
+
+	// The clone's state store shares the image frames too (its own refs), so
+	// restoring a clone copies from the same physical pages every sibling
+	// snapshot reads — no per-container snapshot arena at all.
+	snap := &snapshot{
+		layout:   append([]vm.VMA(nil), img.layout...),
+		brk:      img.brk,
+		mmapBase: img.mmapBase,
+		regs:     make(map[int]kernel.Regs, len(proc.Threads)),
+	}
+	st := &snap.store
+	st.vpns = append([]uint64(nil), img.vpns...)
+	st.frames = make([]mem.FrameID, 0, len(img.frames))
+	for _, f := range img.frames {
+		k.Phys.Ref(f)
+		st.frames = append(st.frames, f)
+	}
+	for i, th := range proc.Threads {
+		snap.regs[th.TID] = img.regs[i]
+	}
+	snap.stats = SnapshotStats{Pages: st.len(), VMAs: len(img.layout)}
+	m.snap = snap
+
+	// Arm write tracking, exactly as TakeSnapshot does after recording.
+	m.fs.ClearRefs(proc, meter)
+	return m, nil
+}

@@ -1,0 +1,235 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"groundhog/internal/core"
+	"groundhog/internal/kernel"
+	"groundhog/internal/mem"
+	"groundhog/internal/sim"
+	"groundhog/internal/vm"
+)
+
+// cloneDonor spawns a warm donor process with a grown, content-bearing heap,
+// attaches a manager, and takes the snapshot a clone will be spawned from.
+func cloneDonor(t *testing.T, opts core.Options, heapPages int) (*kernel.Kernel, *kernel.Process, *core.Manager) {
+	t.Helper()
+	k := kernel.New(kernel.Default())
+	p, err := k.Spawn(kernel.ExecSpec{TextPages: 8, DataPages: 8, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := p.AS.HeapBase()
+	if _, err := p.AS.Brk(heap + vm.Addr(heapPages*mem.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < heapPages; i++ {
+		if i%3 != 0 { // leave every third page all-zero to exercise the zero-frame path
+			p.AS.WriteWord(heap+vm.Addr(i*mem.PageSize), 0xFACE00+uint64(i))
+		} else {
+			p.AS.TouchPage(heap.PageNum() + uint64(i))
+		}
+	}
+	m, err := core.NewManager(k, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TakeSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	return k, p, m
+}
+
+// cloneRequest applies one identical "request" to a process: dirty a run and
+// a scatter of heap pages, drop and repopulate a window, and map a scratch
+// region (unmapping the previous one) — the full mix restoration must undo.
+func cloneRequest(t *testing.T, p *kernel.Process, seq uint64, churn *vm.Addr) {
+	t.Helper()
+	as := p.AS
+	heap := as.HeapBase()
+	for i := 0; i < 8; i++ {
+		as.WriteWord(heap+vm.Addr(i*mem.PageSize), 0xBEEF00+seq)
+	}
+	for i := 0; i < 6; i++ {
+		as.WriteWord(heap+vm.Addr((10+i*3)*mem.PageSize), seq)
+	}
+	if err := as.Madvise(heap+vm.Addr(30*mem.PageSize), 4*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		as.DirtyPage(heap.PageNum()+30+uint64(i), 0xD0+seq)
+	}
+	if *churn != 0 {
+		if err := as.Munmap(*churn, 8*mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := as.Mmap(8*mem.PageSize, vm.ProtRW, vm.KindFile, fmt.Sprintf("scratch:%d", seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	as.DirtyPage(a.PageNum(), seq)
+	*churn = a
+	for _, th := range p.Threads {
+		th.Regs.GP[0] = seq
+	}
+}
+
+// TestCloneEquivalence is the equivalence guarantee of the snapshot-clone
+// cold start: a cloned container and its fully-initialized donor serve the
+// same request sequence and produce identical RestoreStats page counts —
+// under both write trackers and both state stores.
+func TestCloneEquivalence(t *testing.T) {
+	for _, tracker := range []core.TrackerKind{core.TrackSoftDirty, core.TrackUffd} {
+		for _, store := range []core.StoreKind{core.StoreCopy, core.StoreCoW} {
+			t.Run(fmt.Sprintf("%s/%s", tracker, store), func(t *testing.T) {
+				opts := core.DefaultOptions()
+				opts.Tracker = tracker
+				opts.Store = store
+				k, donorProc, donor := cloneDonor(t, opts, 48)
+
+				img, err := donor.ExportImage(nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				clone, err := core.NewManagerFromSnapshot(k, img, opts, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// A fresh clone is already byte-identical to the snapshot.
+				if err := clone.Verify(); err != nil {
+					t.Fatalf("fresh clone fails verification: %v", err)
+				}
+
+				var donorChurn, cloneChurn vm.Addr
+				for seq := uint64(1); seq <= 3; seq++ {
+					cloneRequest(t, donorProc, seq, &donorChurn)
+					ds, err := donor.Restore()
+					if err != nil {
+						t.Fatal(err)
+					}
+					cloneRequest(t, clone.Process(), seq, &cloneChurn)
+					cs, err := clone.Restore()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ds.MappedPages != cs.MappedPages || ds.DirtyPages != cs.DirtyPages ||
+						ds.RestoredPages != cs.RestoredPages || ds.DroppedPages != cs.DroppedPages ||
+						ds.LayoutOps != cs.LayoutOps {
+						t.Fatalf("cycle %d: donor counts %+v, clone counts %+v", seq, ds, cs)
+					}
+					if ds.Total != cs.Total {
+						t.Fatalf("cycle %d: donor restore %v, clone restore %v", seq, ds.Total, cs.Total)
+					}
+					if err := donor.Verify(); err != nil {
+						t.Fatalf("donor cycle %d: %v", seq, err)
+					}
+					if err := clone.Verify(); err != nil {
+						t.Fatalf("clone cycle %d: %v", seq, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCloneSharesFramesCoW pins the memory story: spawning additional clones
+// from one image allocates no frames up front, and each clone's divergence is
+// bounded by what it writes.
+func TestCloneSharesFramesCoW(t *testing.T) {
+	k, _, donor := cloneDonor(t, core.DefaultOptions(), 48)
+	img, err := donor.ExportImage(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := k.Phys.InUse()
+	var clones []*core.Manager
+	for i := 0; i < 3; i++ {
+		c, err := core.NewManagerFromSnapshot(k, img, core.DefaultOptions(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clones = append(clones, c)
+	}
+	if got := k.Phys.InUse(); got != base {
+		t.Fatalf("3 clones allocated %d frames before serving; want 0", got-base)
+	}
+	// One clone writes one page: exactly one private frame appears.
+	clones[0].Process().AS.WriteWord(clones[0].Process().AS.HeapBase(), 0x77)
+	if got := k.Phys.InUse(); got != base+1 {
+		t.Fatalf("one dirty page cost %d frames; want 1", got-base)
+	}
+	// The other clones and the donor still read snapshot content.
+	if got := clones[1].Process().AS.ReadWord(clones[1].Process().AS.HeapBase()); got == 0x77 {
+		t.Fatal("sibling clone observed another clone's write")
+	}
+}
+
+// TestCloneSurvivesDonorExit: the image (and clones spawned from it) remain
+// valid after the donor process exits — scale-out does not depend on donor
+// container lifetime.
+func TestCloneSurvivesDonorExit(t *testing.T) {
+	k, donorProc, donor := cloneDonor(t, core.DefaultOptions(), 48)
+	img, err := donor.ExportImage(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Exit(donorProc)
+	clone, err := core.NewManagerFromSnapshot(k, img, core.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.Verify(); err != nil {
+		t.Fatalf("clone after donor exit: %v", err)
+	}
+	var churn vm.Addr
+	cloneRequest(t, clone.Process(), 9, &churn)
+	if _, err := clone.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneChargesHonestCosts: the clone path charges the cost-model knobs,
+// and a released image refuses to spawn.
+func TestCloneChargesHonestCosts(t *testing.T) {
+	k, _, donor := cloneDonor(t, core.DefaultOptions(), 32)
+	img, err := donor.ExportImage(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := sim.NewMeter()
+	if _, err := core.NewManagerFromSnapshot(k, img, core.DefaultOptions(), meter); err != nil {
+		t.Fatal(err)
+	}
+	min := k.Cost.CloneFromSnapshotBase + k.Cost.ClonePTEPerPage*sim.Duration(img.Pages())
+	if meter.Total() < min {
+		t.Fatalf("clone charged %v, below the spawn cost floor %v", meter.Total(), min)
+	}
+	img.Release()
+	if _, err := core.NewManagerFromSnapshot(k, img, core.DefaultOptions(), nil); err == nil {
+		t.Fatal("clone from released image accepted")
+	}
+	if _, err := core.NewManagerFromSnapshot(k, nil, core.DefaultOptions(), nil); err == nil {
+		t.Fatal("clone from nil image accepted")
+	}
+}
+
+// TestExportBeforeSnapshotRejected guards the export precondition.
+func TestExportBeforeSnapshotRejected(t *testing.T) {
+	k := kernel.New(kernel.Default())
+	p, err := k.Spawn(kernel.ExecSpec{TextPages: 2, DataPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewManager(k, p, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ExportImage(nil); err == nil {
+		t.Fatal("export before snapshot accepted")
+	}
+}

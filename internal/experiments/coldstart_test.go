@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"groundhog/internal/catalog"
+	"groundhog/internal/isolation"
+)
+
+func TestColdStartBenchCloneSpeedupAndSubLinearMemory(t *testing.T) {
+	e, err := catalog.Lookup("get-time (p)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ColdStartBench(quick(), e.Prof, isolation.ModeGH, []int{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline acceptance criterion: clone cold start at least 10x
+	// cheaper than the full Fig. 1 pipeline (in virtual time), both for the
+	// export-paying first clone and at steady state.
+	if res.SpeedupX < 10 {
+		t.Fatalf("steady clone speedup %.1fx < 10x (full %.0f µs, clone %.0f µs)",
+			res.SpeedupX, res.FullColdStartUs, res.SteadyCloneUs)
+	}
+	if res.FirstCloneUs*10 > res.FullColdStartUs {
+		t.Fatalf("first clone %.0f µs not 10x below full %.0f µs", res.FirstCloneUs, res.FullColdStartUs)
+	}
+	// The warm image carries real content, so the first clone measurably
+	// pays the one-time export (nonzero-page frame materialization) on top
+	// of the steady clone cost.
+	if res.FirstCloneUs <= res.SteadyCloneUs {
+		t.Fatalf("first clone %.2f µs does not exceed steady clone %.2f µs; export path unexercised",
+			res.FirstCloneUs, res.SteadyCloneUs)
+	}
+	if res.Fleet[0].StateStoreBytes == 0 {
+		t.Fatal("donor state store reports 0 bytes; warm image carries no content")
+	}
+	if len(res.Fleet) != 3 {
+		t.Fatalf("fleet points = %d, want 3", len(res.Fleet))
+	}
+	// Sub-linear fleet memory: 16 containers must use far fewer frames than
+	// 16 independent copies of the single-container fleet.
+	one, sixteen := res.Fleet[0], res.Fleet[2]
+	if sixteen.Containers != 16 {
+		t.Fatalf("last fleet point has %d containers", sixteen.Containers)
+	}
+	if sixteen.FramesInUse >= 4*one.FramesInUse {
+		t.Fatalf("frames at 16 containers = %d, >= 4x single-container %d: growth not sub-linear",
+			sixteen.FramesInUse, one.FramesInUse)
+	}
+	if sixteen.SharedFramePages == 0 {
+		t.Fatal("no cross-container frame sharing reported")
+	}
+	if sixteen.ResidentPages <= 15*one.ResidentPages {
+		t.Fatalf("resident pages %d at 16 containers vs %d at 1: clones missing their warm image",
+			sixteen.ResidentPages, one.ResidentPages)
+	}
+	// The one-time export cost and the marginal clone cost are reported
+	// separately: materializing the image costs frames once, while each
+	// additional unserved clone costs none.
+	if res.ExportFrames <= 0 {
+		t.Fatalf("one-time export frames = %d; copy-store image materialization unaccounted", res.ExportFrames)
+	}
+	if res.FramesPerExtra != 0 {
+		t.Fatalf("marginal frames per extra container = %.2f; clones should share every frame", res.FramesPerExtra)
+	}
+}
+
+func TestColdStartScaleOutTable(t *testing.T) {
+	tb, res, err := ColdStartScaleOut(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb == nil || len(res) != 1 {
+		t.Fatalf("table %v, results %d", tb, len(res))
+	}
+	out := tb.Render()
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,237 @@
+package faas
+
+import (
+	"testing"
+
+	"groundhog/internal/isolation"
+	"groundhog/internal/kernel"
+)
+
+// clonePlatform deploys one GH container with clone scale-out enabled.
+func clonePlatform(t *testing.T, mode isolation.Mode) *Platform {
+	t.Helper()
+	pl, err := NewPlatform(kernel.Default(), testProfile(), mode, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.CloneScaleOut = true
+	return pl
+}
+
+func TestCloneColdStartSkipsPipeline(t *testing.T) {
+	pl := clonePlatform(t, isolation.ModeGH)
+	full := pl.Containers()[0].ColdStart()
+	if full.ClonedFrom != -1 {
+		t.Fatalf("first container reports donor %d; must run the full pipeline", full.ClonedFrom)
+	}
+
+	c1, err := pl.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs1 := c1.ColdStart()
+	if cs1.ClonedFrom != pl.Containers()[0].ID {
+		t.Fatalf("clone donor = %d, want %d", cs1.ClonedFrom, pl.Containers()[0].ID)
+	}
+	if cs1.EnvInstantiation != 0 || cs1.RuntimeInit != 0 || cs1.StrategyInit != 0 {
+		t.Fatalf("clone paid pipeline phases: %+v", cs1)
+	}
+	if cs1.Clone <= 0 || cs1.Total != cs1.Clone {
+		t.Fatalf("clone cost not accounted: %+v", cs1)
+	}
+	// The first clone pays the one-time image export; later clones are
+	// cheaper still. Both must be at least 10x below the full pipeline.
+	c2, err := pl.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs2 := c2.ColdStart()
+	if cs2.Total > cs1.Total {
+		t.Fatalf("steady clone (%v) dearer than first clone (%v)", cs2.Total, cs1.Total)
+	}
+	if cs1.Total*10 > full.Total {
+		t.Fatalf("first clone %v not 10x below full cold start %v", cs1.Total, full.Total)
+	}
+}
+
+func TestCloneDisabledByDefault(t *testing.T) {
+	pl := newPlatform(t, isolation.ModeGH, 1)
+	c, err := pl.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ColdStart().ClonedFrom != -1 {
+		t.Fatal("clone scale-out ran without being enabled")
+	}
+	// Modes without a snapshot fall back to the full pipeline even when
+	// clone scale-out is on.
+	base := clonePlatform(t, isolation.ModeBase)
+	bc, err := base.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.ColdStart().ClonedFrom != -1 {
+		t.Fatal("BASE container claims to be a clone")
+	}
+}
+
+// TestCloneEquivalentRestores is the platform half of the equivalence
+// guarantee: a cloned container and the fully-initialized donor serve the
+// same request sequence and report identical RestoreStats page counts.
+func TestCloneEquivalentRestores(t *testing.T) {
+	pl := clonePlatform(t, isolation.ModeGH)
+	donor := pl.Containers()[0]
+	clone, err := pl.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Engine.RunUntil(clone.Ready())
+
+	for i := 0; i < 4; i++ {
+		ds, err := pl.Serve(donor, "tenant-a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := pl.Serve(clone, "tenant-a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ds.Restored || !cs.Restored {
+			t.Fatalf("request %d: restore skipped (donor %v, clone %v)", i, ds.Restored, cs.Restored)
+		}
+		dr, cr := ds.Restore, cs.Restore
+		if dr.MappedPages != cr.MappedPages || dr.DirtyPages != cr.DirtyPages ||
+			dr.RestoredPages != cr.RestoredPages || dr.DroppedPages != cr.DroppedPages ||
+			dr.LayoutOps != cr.LayoutOps {
+			t.Fatalf("request %d: donor counts %+v, clone counts %+v", i, dr, cr)
+		}
+	}
+}
+
+// TestCloneFleetMemorySubLinear pins the memory story at platform scope:
+// scaling from 1 to N containers by cloning shares nearly the whole warm
+// image, so frames-in-use grow far slower than linearly.
+func TestCloneFleetMemorySubLinear(t *testing.T) {
+	pl := clonePlatform(t, isolation.ModeGH)
+	oneContainer := pl.Memory().FramesInUse
+
+	for len(pl.Containers()) < 4 {
+		if _, err := pl.AddContainer(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	atFour := pl.Memory()
+	// 4 containers must cost far less than 4x one container's frames. The
+	// one-time image export roughly doubles the footprint; clones add ~0.
+	if atFour.FramesInUse >= 3*oneContainer {
+		t.Fatalf("4 containers use %d frames, 1 used %d; sharing broken", atFour.FramesInUse, oneContainer)
+	}
+	if atFour.SharedFramePages == 0 {
+		t.Fatal("no shared frames reported across cloned containers")
+	}
+	if atFour.ResidentPages < 4*(oneContainer/2) {
+		t.Fatalf("resident pages %d implausibly low for 4 containers", atFour.ResidentPages)
+	}
+
+	// Serving dirties pages and diverges frames, but the shared baseline
+	// remains: memory still far below 4 independent containers.
+	for _, c := range pl.Containers() {
+		pl.Engine.RunUntil(c.Ready())
+		if _, err := pl.Serve(c, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := pl.Memory()
+	if after.FramesInUse >= 4*oneContainer {
+		t.Fatalf("after serving, %d frames >= 4x single-container %d", after.FramesInUse, oneContainer)
+	}
+	if after.SharedFramePages == 0 {
+		t.Fatal("all sharing lost after one request per container")
+	}
+}
+
+// TestCloneDonorEligibility: a served container is a valid donor only under
+// restoring modes — gh-nop never rolls back, so its post-request bookkeeping
+// no longer matches the snapshot image and scale-out must fall back to the
+// full pipeline; a served (and therefore restored) GH container stays
+// eligible.
+func TestCloneDonorEligibility(t *testing.T) {
+	nop := clonePlatform(t, isolation.ModeGHNop)
+	if _, err := nop.InvokeOnce("a"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := nop.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ColdStart().ClonedFrom != -1 {
+		t.Fatal("served gh-nop container used as clone donor; its instance state diverged from the snapshot")
+	}
+
+	gh := clonePlatform(t, isolation.ModeGH)
+	if _, err := gh.InvokeOnce("a"); err != nil {
+		t.Fatal(err)
+	}
+	donor := gh.Containers()[0]
+	gh.Engine.RunUntil(donor.Ready()) // let the post-request restore finish
+	c, err = gh.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ColdStart().ClonedFrom != donor.ID {
+		t.Fatalf("restored GH container rejected as donor: %+v", c.ColdStart())
+	}
+	gh.Engine.RunUntil(c.Ready())
+	if _, err := gh.Serve(c, "b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneSurvivesDonorRemoval: once the template is captured (first
+// clone), keep-alive expiry of the donor container does not invalidate it —
+// the manager's snapshot holds its own frame references.
+func TestCloneSurvivesDonorRemoval(t *testing.T) {
+	pl := clonePlatform(t, isolation.ModeGH)
+	donor := pl.Containers()[0]
+	if _, err := pl.AddContainer(); err != nil { // captures the template
+		t.Fatal(err)
+	}
+	pl.RemoveContainer(donor)
+	c, err := pl.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ColdStart().ClonedFrom != donor.ID {
+		t.Fatalf("post-removal container not cloned from donor snapshot: %+v", c.ColdStart())
+	}
+	pl.Engine.RunUntil(c.Ready())
+	if _, err := pl.Serve(c, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneFallsBackWithoutDonor: with every container gone before any clone
+// was taken, scale-out falls back to the full pipeline instead of failing —
+// and a platform that never clones captures no template at all.
+func TestCloneFallsBackWithoutDonor(t *testing.T) {
+	pl := clonePlatform(t, isolation.ModeGH)
+	pl.RemoveContainer(pl.Containers()[0])
+	c, err := pl.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := c.ColdStart(); cs.ClonedFrom != -1 || cs.EnvInstantiation == 0 {
+		t.Fatalf("expected full-pipeline fallback, got %+v", cs)
+	}
+
+	// A platform with CloneScaleOut off must not retain donor state: the
+	// template would pin the donor manager's snapshot for the platform's
+	// lifetime (keep-alive churn in fleets would never free it).
+	off := newPlatform(t, isolation.ModeGH, 1)
+	if _, err := off.AddContainer(); err != nil {
+		t.Fatal(err)
+	}
+	if off.template != nil {
+		t.Fatal("disabled platform captured a clone template")
+	}
+}

@@ -48,12 +48,22 @@ type RequestStats struct {
 }
 
 // ColdStartStats reports a container's initialization, phase by phase
-// (Fig. 1 of the paper).
+// (Fig. 1 of the paper). A container started down the snapshot-clone fast
+// path skips the three pipeline phases entirely: Clone carries the whole
+// cost and ClonedFrom names the donor.
 type ColdStartStats struct {
 	EnvInstantiation sim.Duration
 	RuntimeInit      sim.Duration // runtime + data initialization + dummy request
 	StrategyInit     sim.Duration // snapshotting (GH/FAASM), zero otherwise
-	Total            sim.Duration
+	// Clone is the snapshot-clone duration when the container was cloned
+	// from a sibling's snapshot instead of running the full Fig. 1
+	// pipeline (the one-time image export is amortized into the
+	// deployment's first clone).
+	Clone sim.Duration
+	// ClonedFrom is the donor container's ID, or -1 after a full cold
+	// start.
+	ClonedFrom int
+	Total      sim.Duration
 }
 
 // Container is one warm function container: a function process (plus
@@ -135,11 +145,38 @@ type Platform struct {
 	// every rollback.
 	VirtualizeTime bool
 
+	// CloneScaleOut enables snapshot-clone cold starts: the first container
+	// of the deployment runs the full Fig. 1 pipeline, and every later
+	// AddContainer is spawned from its snapshot image — env, runtime and
+	// data initialization are skipped, and the clone maps the donor
+	// snapshot's frames copy-on-write, so fleet memory grows with what
+	// containers dirty rather than with the container count. Off by
+	// default: the paper's experiments measure full cold starts.
+	CloneScaleOut bool
+
 	mode            isolation.Mode
 	prof            runtimes.Profile
 	containers      []*Container
 	rng             *sim.Rand
 	nextContainerID int
+
+	// template is the deployment's clone source, captured lazily on the
+	// first clone request (never when CloneScaleOut is off, so disabled
+	// platforms retain no donor state). The expensive image export happens
+	// lazily too; once captured, the template stays valid even after the
+	// donor container is removed.
+	template *cloneTemplate
+}
+
+// cloneTemplate is the donor material for snapshot-clone cold starts: the
+// strategy whose snapshot will be exported, the donor instance's warm
+// bookkeeping (captured while pristine, immediately after strategy Init),
+// and the lazily-exported image shared by all clones.
+type cloneTemplate struct {
+	donorID int
+	strat   isolation.Cloneable
+	state   runtimes.ImageState
+	image   *core.SnapshotImage
 }
 
 // NewPlatform deploys the function described by prof under the given
@@ -221,8 +258,15 @@ func (pl *Platform) Mode() isolation.Mode { return pl.mode }
 // Containers returns the warm containers.
 func (pl *Platform) Containers() []*Container { return pl.containers }
 
-// coldStart runs the Fig. 1 pipeline for one new container.
+// coldStart initializes one new container: the full Fig. 1 pipeline, or —
+// when clone scale-out is enabled and a sibling snapshot exists — the
+// snapshot-clone fast path.
 func (pl *Platform) coldStart(id int, seed uint64) (*Container, error) {
+	if pl.CloneScaleOut {
+		if tmpl := pl.cloneSource(); tmpl != nil {
+			return pl.cloneStart(id, seed, tmpl)
+		}
+	}
 	cost := pl.Kern.Cost
 	m := sim.NewMeter()
 
@@ -263,11 +307,137 @@ func (pl *Platform) coldStart(id int, seed uint64) (*Container, error) {
 			EnvInstantiation: env,
 			RuntimeInit:      cost.SpawnProcess + warmMeter.Total(),
 			StrategyInit:     stratInit,
+			ClonedFrom:       -1,
 			Total:            m.Total(),
 		},
 		ready: pl.Engine.Now(),
 	}
 	return c, nil
+}
+
+// cloneSource returns the deployment's clone template, capturing it from a
+// live container on first use. A pristine container (one that has served no
+// requests) is preferred: its instance bookkeeping is exactly the
+// snapshot-time state, so a clone behaves like a fully-initialized sibling
+// from its very first request. Failing that, a quiescent, untainted
+// container of a *restoring* mode works — its instance sits in the
+// post-restore state the snapshot image reproduces. Served gh-nop
+// containers never qualify: they roll nothing back, so their bookkeeping
+// (churn regions, leak counters) references state the snapshot does not
+// hold. Tainted containers (a deferred rollback under the trusted-caller
+// optimization) are never donors for the same reason. With no eligible
+// donor the caller falls back to the full pipeline.
+func (pl *Platform) cloneSource() *cloneTemplate {
+	if pl.template != nil {
+		return pl.template
+	}
+	var donor *Container
+	for _, c := range pl.containers {
+		if c.tainted {
+			continue
+		}
+		if _, ok := c.strat.(isolation.Cloneable); !ok {
+			continue
+		}
+		if c.requests == 0 {
+			donor = c
+			break
+		}
+		if donor == nil && c.strat.Mode() != isolation.ModeGHNop {
+			donor = c
+		}
+	}
+	if donor == nil {
+		return nil
+	}
+	pl.template = &cloneTemplate{
+		donorID: donor.ID,
+		strat:   donor.strat.(isolation.Cloneable),
+		state:   donor.inst.CaptureState(),
+	}
+	return pl.template
+}
+
+// cloneStart is the snapshot-clone cold start: spawn the container's process
+// directly from the donor snapshot's image, frames shared copy-on-write —
+// no environment instantiation, no runtime or data initialization, no
+// snapshotting. The deployment's first clone additionally pays the one-time
+// image export.
+func (pl *Platform) cloneStart(id int, seed uint64, tmpl *cloneTemplate) (*Container, error) {
+	cost := pl.Kern.Cost
+	m := sim.NewMeter()
+
+	if tmpl.image == nil {
+		img, err := tmpl.strat.ExportImage(m)
+		if err != nil {
+			return nil, fmt.Errorf("faas: clone export from container %d: %w", tmpl.donorID, err)
+		}
+		tmpl.image = img
+		// The donor strategy was only needed for the export; dropping the
+		// reference lets a removed donor's manager (and its snapshot store)
+		// be reclaimed while the image lives on.
+		tmpl.strat = nil
+	}
+	strat, proc, err := isolation.NewCloned(pl.mode, pl.Kern, tmpl.image, m)
+	if err != nil {
+		return nil, fmt.Errorf("faas: clone cold start: %w", err)
+	}
+	inst := runtimes.NewInstanceFromState(pl.Kern, proc, tmpl.state, seed)
+
+	c := &Container{
+		ID:     id,
+		inst:   inst,
+		strat:  strat,
+		stdin:  kernel.NewPipe(fmt.Sprintf("c%d-stdin", id), cost.PipePerKB),
+		stdout: kernel.NewPipe(fmt.Sprintf("c%d-stdout", id), cost.PipePerKB),
+		cold: ColdStartStats{
+			Clone:      m.Total(),
+			ClonedFrom: tmpl.donorID,
+			Total:      m.Total(),
+		},
+		ready: pl.Engine.Now(),
+	}
+	return c, nil
+}
+
+// MemoryStats is the deployment's fleet-wide memory accounting, the figures
+// /deployments reports per deployment.
+type MemoryStats struct {
+	// StateStoreBytes is the managers' materialized snapshot memory, summed
+	// over containers. Cloned containers' stores share the image's frames,
+	// so their contribution stays near zero until frames diverge.
+	StateStoreBytes int
+	// ResidentPages is the containers' total resident set.
+	ResidentPages int
+	// SharedFramePages counts resident pages whose backing frame is shared
+	// (reference count > 1) — cross-container frame sharing at work. Each
+	// such page would cost one more physical frame per container on a
+	// platform without clone scale-out.
+	SharedFramePages int
+	// FramesInUse is the backing kernel's live frame count. Platforms
+	// sharing a kernel (fleet simulations) see the host-wide figure.
+	FramesInUse int
+}
+
+// Memory reports the deployment's current memory accounting.
+func (pl *Platform) Memory() MemoryStats {
+	st := MemoryStats{FramesInUse: pl.Kern.Phys.InUse()}
+	phys := pl.Kern.Phys
+	var vpns []uint64
+	for _, c := range pl.containers {
+		if ss, ok := c.strat.(isolation.StateStorer); ok {
+			st.StateStoreBytes += ss.StateStoreBytes()
+		}
+		as := c.inst.Proc.AS
+		vpns = as.AppendResidentVPNs(vpns[:0])
+		st.ResidentPages += len(vpns)
+		for _, vpn := range vpns {
+			if pte, ok := as.PTEAt(vpn); ok && phys.Refs(pte.Frame) > 1 {
+				st.SharedFramePages++
+			}
+		}
+	}
+	return st
 }
 
 // serve executes one request synchronously against container c and returns

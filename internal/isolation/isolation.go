@@ -73,6 +73,53 @@ type Strategy interface {
 	CanSkipCleanup() bool
 }
 
+// Cloneable is implemented by strategies whose recorded snapshot can seed
+// sibling containers (snapshot-clone cold starts): ExportImage hands out a
+// self-contained copy-on-write image of the snapshot, and NewCloned spawns
+// a fresh strategy-plus-process from such an image.
+type Cloneable interface {
+	ExportImage(meter *sim.Meter) (*core.SnapshotImage, error)
+}
+
+// StateStorer is implemented by strategies that hold a Groundhog state
+// store; StateStoreBytes reports its materialized memory (the per-container
+// snapshot overhead of §5.5).
+type StateStorer interface {
+	StateStoreBytes() int
+}
+
+// CanClone reports whether mode's strategy records a snapshot that sibling
+// containers can be cloned from. BASE has no snapshot and fork-based
+// isolation re-forks from the warm parent per request, so neither supports
+// cloning.
+func CanClone(mode Mode) bool {
+	switch mode {
+	case ModeGH, ModeGHNop, ModeFaasm:
+		return true
+	}
+	return false
+}
+
+// NewCloned constructs the strategy for mode over a fresh process cloned
+// from img: the process maps the image's frames copy-on-write and its
+// manager already holds the snapshot, so Init must NOT be called — the
+// container is serve-ready at a small fraction of the full cold-start cost.
+// Clone charges (spawn-from-image, seize, tracking re-arm) go to meter.
+func NewCloned(mode Mode, k *kernel.Kernel, img *core.SnapshotImage, meter *sim.Meter) (Strategy, *kernel.Process, error) {
+	if !CanClone(mode) {
+		return nil, nil, fmt.Errorf("isolation: mode %q does not support snapshot cloning", mode)
+	}
+	m, err := core.NewManagerFromSnapshot(k, img, core.DefaultOptions(), meter)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := m.Process()
+	if mode == ModeFaasm {
+		return &faasmStrategy{kern: k, manager: m, proc: p}, p, nil
+	}
+	return &groundhogStrategy{kern: k, manager: m, proc: p, restore: mode == ModeGH}, p, nil
+}
+
 // New constructs the strategy for mode over the warm function process p.
 func New(mode Mode, k *kernel.Kernel, p *kernel.Process) (Strategy, error) {
 	switch mode {
@@ -148,6 +195,15 @@ func (s *groundhogStrategy) Init() (sim.Duration, error) {
 }
 
 func (s *groundhogStrategy) Manager() *core.Manager { return s.manager }
+
+// ExportImage hands out a shareable copy-on-write image of the snapshot for
+// sibling-container cloning.
+func (s *groundhogStrategy) ExportImage(meter *sim.Meter) (*core.SnapshotImage, error) {
+	return s.manager.ExportImage(meter)
+}
+
+// StateStoreBytes reports the manager's state-store memory.
+func (s *groundhogStrategy) StateStoreBytes() int { return s.manager.StateStoreBytes() }
 
 func (s *groundhogStrategy) BeginRequest(*sim.Meter) (*kernel.Process, error) {
 	if !s.manager.HasSnapshot() {
@@ -246,6 +302,15 @@ func (s *faasmStrategy) Init() (sim.Duration, error) {
 	}
 	return stats.Duration, nil
 }
+
+// ExportImage hands out a shareable copy-on-write image of the checkpoint
+// for sibling-Faaslet cloning.
+func (s *faasmStrategy) ExportImage(meter *sim.Meter) (*core.SnapshotImage, error) {
+	return s.manager.ExportImage(meter)
+}
+
+// StateStoreBytes reports the checkpoint's state-store memory.
+func (s *faasmStrategy) StateStoreBytes() int { return s.manager.StateStoreBytes() }
 
 func (s *faasmStrategy) BeginRequest(*sim.Meter) (*kernel.Process, error) {
 	if !s.manager.HasSnapshot() {

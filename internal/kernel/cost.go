@@ -73,6 +73,16 @@ type CostModel struct {
 	ForkPerPage  sim.Duration // page-table duplication per resident page
 	SpawnProcess sim.Duration // fork+exec of the runtime (cold start component)
 
+	// Snapshot-clone cold start: spawning a sibling container's process
+	// directly from an existing deployment's snapshot image instead of
+	// running the full Fig. 1 pipeline (the way faasd/tinyFaaS-style
+	// platforms scale a function out by replicating one prepared image).
+	// The base covers process creation and address-space bookkeeping; each
+	// recorded page costs one PTE install plus a frame reference — no page
+	// copy, since the clone maps the donor snapshot's frames copy-on-write.
+	CloneFromSnapshotBase sim.Duration
+	ClonePTEPerPage       sim.Duration
+
 	// Pipe copy cost for proxied request/response bytes (§4.5: the
 	// interposition overhead on large inputs).
 	PipePerKB sim.Duration
@@ -117,8 +127,8 @@ func Default() CostModel {
 		PtracePeekPerPage:        600 * time.Nanosecond,
 		PtracePokePerPage:        700 * time.Nanosecond,
 
-		ReadMapsBase:     90 * time.Microsecond,
-		ReadMapsPerVMA:   900 * time.Nanosecond,
+		ReadMapsBase:        90 * time.Microsecond,
+		ReadMapsPerVMA:      900 * time.Nanosecond,
 		PagemapPerPage:      60 * time.Nanosecond,
 		PagemapRangeBase:    250 * time.Nanosecond,
 		ClearRefsPerPage:    30 * time.Nanosecond,
@@ -136,6 +146,9 @@ func Default() CostModel {
 		ForkBase:     65 * time.Microsecond,
 		ForkPerPage:  450 * time.Nanosecond,
 		SpawnProcess: 2 * time.Millisecond,
+
+		CloneFromSnapshotBase: 180 * time.Microsecond,
+		ClonePTEPerPage:       220 * time.Nanosecond,
 
 		PipePerKB:       1200 * time.Nanosecond,
 		ProxyPerRequest: 110 * time.Microsecond,

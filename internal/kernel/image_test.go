@@ -1,0 +1,112 @@
+package kernel
+
+import (
+	"testing"
+
+	"groundhog/internal/mem"
+	"groundhog/internal/sim"
+	"groundhog/internal/vm"
+)
+
+// donorImage spawns a small warm process and builds a ProcessImage over its
+// resident pages, sharing the donor's live frames (valid here because the
+// donor is quiescent for the whole test).
+func donorImage(t *testing.T, k *Kernel) (*Process, ProcessImage) {
+	t.Helper()
+	p, err := k.Spawn(ExecSpec{TextPages: 4, DataPages: 4, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := p.AS.HeapBase()
+	if _, err := p.AS.Brk(heap + vm.Addr(8*mem.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		p.AS.WriteWord(heap+vm.Addr(i*mem.PageSize), 0x5100+uint64(i))
+	}
+	img := ProcessImage{
+		Layout:   p.AS.VMAs(),
+		BrkBase:  p.AS.HeapBase(),
+		Brk:      p.AS.BrkValue(),
+		MmapBase: p.AS.MmapBase(),
+	}
+	for _, vpn := range p.AS.ResidentVPNs() {
+		pte, _ := p.AS.PTEAt(vpn)
+		img.VPNs = append(img.VPNs, vpn)
+		img.Frames = append(img.Frames, pte.Frame)
+	}
+	for _, th := range p.Threads {
+		img.Regs = append(img.Regs, th.Regs)
+	}
+	return p, img
+}
+
+func TestSpawnFromImageSharesFramesCoW(t *testing.T) {
+	k := New(Default())
+	donor, img := donorImage(t, k)
+
+	before := k.Phys.InUse()
+	meter := sim.NewMeter()
+	clone, err := k.SpawnFromImage(img, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Phys.InUse() != before {
+		t.Fatalf("clone allocated %d frames; expected pure CoW sharing", k.Phys.InUse()-before)
+	}
+	if clone.PID == donor.PID {
+		t.Fatal("clone reused donor PID")
+	}
+	if len(clone.Threads) != len(donor.Threads) {
+		t.Fatalf("clone has %d threads, donor %d", len(clone.Threads), len(donor.Threads))
+	}
+	if clone.MainThread().Regs != donor.MainThread().Regs {
+		t.Fatal("clone registers differ from image")
+	}
+	// The spawn charge is the honest clone cost: base + per-page PTE work.
+	want := k.Cost.CloneFromSnapshotBase + k.Cost.ClonePTEPerPage*sim.Duration(len(img.VPNs))
+	if meter.Total() != want {
+		t.Fatalf("clone charged %v, want %v", meter.Total(), want)
+	}
+	// Reads are shared; writes diverge without touching the donor.
+	heap := donor.AS.HeapBase()
+	if got := clone.AS.ReadWord(heap); got != 0x5100 {
+		t.Fatalf("clone read %#x through shared frame, want 0x5100", got)
+	}
+	clone.AS.WriteWord(heap, 0xD00D)
+	if got := donor.AS.ReadWord(heap); got != 0x5100 {
+		t.Fatalf("donor saw clone write: %#x", got)
+	}
+	// Exit releases only the clone's references; donor pages survive.
+	k.Exit(clone)
+	if got := donor.AS.ReadWord(heap + vm.Addr(mem.PageSize)); got != 0x5101 {
+		t.Fatalf("donor page lost after clone exit: %#x", got)
+	}
+}
+
+func TestSpawnFromImageValidates(t *testing.T) {
+	k := New(Default())
+	_, img := donorImage(t, k)
+
+	bad := img
+	bad.Frames = bad.Frames[:len(bad.Frames)-1]
+	if _, err := k.SpawnFromImage(bad, nil); err == nil {
+		t.Fatal("mismatched VPN/frame lengths accepted")
+	}
+	bad = img
+	bad.Regs = nil
+	if _, err := k.SpawnFromImage(bad, nil); err == nil {
+		t.Fatal("threadless image accepted")
+	}
+	// A page outside the layout must unwind cleanly.
+	bad = img
+	bad.VPNs = append(append([]uint64{}, img.VPNs...), 0x1)
+	bad.Frames = append(append([]mem.FrameID{}, img.Frames...), img.Frames[0])
+	before := k.Phys.InUse()
+	if _, err := k.SpawnFromImage(bad, nil); err == nil {
+		t.Fatal("out-of-layout page accepted")
+	}
+	if k.Phys.InUse() != before {
+		t.Fatalf("failed spawn leaked frames: %d -> %d", before, k.Phys.InUse())
+	}
+}

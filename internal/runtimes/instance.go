@@ -148,9 +148,14 @@ func (in *Instance) WarmUp(meter *sim.Meter) {
 			as.TouchPage(vpn)
 		}
 	}
-	// The dummy request triggers application-level initialization too.
+	// The dummy request triggers application-level initialization too. It
+	// carries a nonzero payload: real data initialization leaves nonzero
+	// state behind, so the warm image's write set holds real page contents
+	// rather than lazily-zero frames. Virtual costs are content-independent;
+	// this only makes the snapshot (and anything derived from it, like a
+	// clone image export) carry the bytes a real runtime would.
 	in.warm = true
-	in.Invoke(Request{ID: 0, Caller: "warmup"}, meter)
+	in.Invoke(Request{ID: 0, Caller: "warmup", Secret: warmupSecret}, meter)
 	// Whatever the dummy request churned or leaked is part of the
 	// snapshot-to-be; reset the per-request state.
 	in.leakedRequests = 0
@@ -309,6 +314,9 @@ func (in *Instance) InvokeOn(proc *kernel.Process, req Request, meter *sim.Meter
 // churnRegionPages is the size of each scratch region cycled per request.
 const churnRegionPages = 24
 
+// warmupSecret is the dummy request's nonzero payload marker (see WarmUp).
+const warmupSecret = 0x57A7E5EED
+
 // uniformDirtySet lazily selects a uniformly random subset of the heap as
 // the stable write set: DirtyPages pages drawn without replacement, in
 // address order. Run lengths follow the geometric distribution of uniform
@@ -400,3 +408,55 @@ func (in *Instance) pickRun(salt uint64, run int) uint64 {
 
 // ResidentPages reports the process's current resident set.
 func (in *Instance) ResidentPages() int { return in.Proc.AS.ResidentPages() }
+
+// ImageState is the warm-instance bookkeeping captured alongside a memory
+// snapshot: the layout anchors, the scratch regions the snapshot-time state
+// holds, and the stable dirty set. A container cloned from a snapshot image
+// pairs the cloned process with NewInstanceFromState so its requests behave
+// exactly like a fully-initialized sibling's — the functional half of the
+// clone-equivalence guarantee.
+type ImageState struct {
+	prof      Profile
+	heapStart vm.Addr
+	heapPages int
+	arenas    []vm.VMA
+	churn     []vm.Addr
+	dirtySet  []uint64
+	wasm      bool
+}
+
+// CaptureState deep-copies the instance's warm bookkeeping. Capture it at
+// the same moment the memory snapshot is taken (right after strategy Init),
+// while the instance is pristine.
+func (in *Instance) CaptureState() ImageState {
+	return ImageState{
+		prof:      in.Prof,
+		heapStart: in.heapStart,
+		heapPages: in.heapPages,
+		arenas:    append([]vm.VMA(nil), in.arenas...),
+		churn:     append([]vm.Addr(nil), in.churn...),
+		dirtySet:  append([]uint64(nil), in.dirtySet...),
+		wasm:      in.Wasm,
+	}
+}
+
+// NewInstanceFromState binds a warm instance to proc — a process cloned from
+// a snapshot image — restoring the donor's captured bookkeeping instead of
+// laying out (and faulting in) a fresh memory image. The instance is already
+// warm: WarmUp is a no-op and the first request behaves like any
+// post-initialization request on the donor.
+func NewInstanceFromState(k *kernel.Kernel, proc *kernel.Process, st ImageState, seed uint64) *Instance {
+	return &Instance{
+		Prof:      st.prof,
+		Proc:      proc,
+		kern:      k,
+		rng:       sim.NewRand(seed ^ hashName(st.prof.Name)),
+		heapStart: st.heapStart,
+		heapPages: st.heapPages,
+		arenas:    append([]vm.VMA(nil), st.arenas...),
+		churn:     append([]vm.Addr(nil), st.churn...),
+		dirtySet:  append([]uint64(nil), st.dirtySet...),
+		warm:      true,
+		Wasm:      st.wasm,
+	}
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"net/http"
+	"net/url"
+	"testing"
+)
+
+// TestDeploymentsReportMemory: after an invocation, /deployments carries the
+// per-deployment memory fields — resident pages, frames in use, state-store
+// bytes — not just counters.
+func TestDeploymentsReportMemory(t *testing.T) {
+	_, ts := testServer(t)
+	if resp := post(t, ts.URL+"/invoke?fn="+url.QueryEscape("get-time (p)")+"&mode=gh", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("invoke: %d", resp.StatusCode)
+	}
+	var deps []DeploymentInfo
+	if resp := get(t, ts.URL+"/deployments", &deps); resp.StatusCode != http.StatusOK {
+		t.Fatalf("deployments: %d", resp.StatusCode)
+	}
+	if len(deps) != 1 {
+		t.Fatalf("deployments = %d, want 1", len(deps))
+	}
+	d := deps[0]
+	if d.Containers != 1 {
+		t.Fatalf("containers = %d, want 1", d.Containers)
+	}
+	if d.ResidentPages <= 0 {
+		t.Fatalf("resident pages = %d; warm image missing", d.ResidentPages)
+	}
+	if d.FramesInUse <= 0 {
+		t.Fatalf("frames in use = %d", d.FramesInUse)
+	}
+	// A single-container GH deployment shares no frames with siblings, and
+	// pages the requests dirtied may hold real state-store content.
+	if d.SharedFramePages != 0 {
+		t.Fatalf("single container reports %d shared pages", d.SharedFramePages)
+	}
+	if d.ResidentPages > d.FramesInUse {
+		t.Fatalf("resident pages %d exceed frames in use %d on an unshared deployment",
+			d.ResidentPages, d.FramesInUse)
+	}
+}
+
+// TestDeploymentsMemoryOmitsUndeployed: a registered deployment whose
+// platform has not been constructed reports zero memory rather than erroring.
+func TestDeploymentsMemoryZeroBeforeDeploy(t *testing.T) {
+	s, ts := testServer(t)
+	// Register a deployment record without constructing its platform.
+	if _, err := s.deployment("get-time (p)", "gh"); err != nil {
+		t.Fatal(err)
+	}
+	var deps []DeploymentInfo
+	if resp := get(t, ts.URL+"/deployments", &deps); resp.StatusCode != http.StatusOK {
+		t.Fatalf("deployments: %d", resp.StatusCode)
+	}
+	if len(deps) != 1 {
+		t.Fatalf("deployments = %d, want 1", len(deps))
+	}
+	if d := deps[0]; d.FramesInUse != 0 || d.ResidentPages != 0 || d.Containers != 0 {
+		t.Fatalf("undeployed entry reports memory: %+v", d)
+	}
+}

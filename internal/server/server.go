@@ -260,13 +260,22 @@ func (d *deployment) deploy() error {
 	return nil
 }
 
-// DeploymentInfo is one entry of the /deployments listing.
+// DeploymentInfo is one entry of the /deployments listing. Beyond the
+// request counters it reports the deployment's memory accounting: the
+// managers' state-store bytes, the containers' resident pages, the physical
+// frames actually in use, and how many resident pages ride on frames shared
+// with siblings (the savings of snapshot-clone scale-out).
 type DeploymentInfo struct {
-	Function    string  `json:"function"`
-	Mode        string  `json:"mode"`
-	Invoked     int     `json:"invoked"`
-	ColdStartMS float64 `json:"cold_start_ms"`
-	VirtualTime string  `json:"virtual_time"`
+	Function         string  `json:"function"`
+	Mode             string  `json:"mode"`
+	Invoked          int     `json:"invoked"`
+	Containers       int     `json:"containers"`
+	ColdStartMS      float64 `json:"cold_start_ms"`
+	StateStoreBytes  int     `json:"state_store_bytes"`
+	ResidentPages    int     `json:"resident_pages"`
+	FramesInUse      int     `json:"frames_in_use"`
+	SharedFramePages int     `json:"shared_frame_pages"`
+	VirtualTime      string  `json:"virtual_time"`
 }
 
 func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
@@ -288,9 +297,16 @@ func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
 		if dep.platform != nil {
 			// Zero containers (keep-alive expiry) reports a zero cold
 			// start instead of panicking the handler.
-			if cs := dep.platform.Containers(); len(cs) > 0 {
+			cs := dep.platform.Containers()
+			if len(cs) > 0 {
 				info.ColdStartMS = float64(cs[0].ColdStart().Total) / 1e6
 			}
+			info.Containers = len(cs)
+			mem := dep.platform.Memory()
+			info.StateStoreBytes = mem.StateStoreBytes
+			info.ResidentPages = mem.ResidentPages
+			info.FramesInUse = mem.FramesInUse
+			info.SharedFramePages = mem.SharedFramePages
 			info.VirtualTime = dep.platform.Engine.Now().String()
 		}
 		dep.mu.Unlock()

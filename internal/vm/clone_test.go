@@ -1,0 +1,149 @@
+package vm
+
+import (
+	"testing"
+
+	"groundhog/internal/mem"
+)
+
+// buildDonor lays out a small donor address space with a text segment, a
+// grown heap, and one mmap region, with a few written pages.
+func buildDonor(t *testing.T, phys *mem.PhysMem) *AddressSpace {
+	t.Helper()
+	as := New(phys, Costs{})
+	if _, err := as.SetupText(4 * mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	heapBase := TextBase + Addr(16*mem.PageSize)
+	if err := as.SetupHeap(heapBase); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Brk(heapBase + Addr(8*mem.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Mmap(4*mem.PageSize, ProtRW, KindFile, "lib"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		as.WriteWord(heapBase+Addr(i*mem.PageSize), 0xAB00+uint64(i))
+	}
+	return as
+}
+
+func TestNewFromLayoutReproducesDonor(t *testing.T) {
+	phys := mem.New()
+	donor := buildDonor(t, phys)
+
+	clone, err := NewFromLayout(phys, Costs{}, donor.VMAs(), donor.HeapBase(), donor.BrkValue(), donor.MmapBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := clone.VMAs(), donor.VMAs(); len(got) != len(want) {
+		t.Fatalf("clone has %d regions, donor %d", len(got), len(want))
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("region %d: clone %v, donor %v", i, got[i], want[i])
+			}
+		}
+	}
+	if clone.BrkValue() != donor.BrkValue() || clone.HeapBase() != donor.HeapBase() {
+		t.Fatalf("heap anchors differ: clone %v/%v donor %v/%v",
+			clone.HeapBase(), clone.BrkValue(), donor.HeapBase(), donor.BrkValue())
+	}
+	if clone.MmapBase() != donor.MmapBase() {
+		t.Fatalf("mmap cursor: clone %v donor %v", clone.MmapBase(), donor.MmapBase())
+	}
+	if clone.ResidentPages() != 0 {
+		t.Fatalf("fresh clone has %d resident pages", clone.ResidentPages())
+	}
+	// Future mmaps land where the donor's would.
+	a1, err := clone.Mmap(2*mem.PageSize, ProtRW, KindAnon, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := donor.Mmap(2*mem.PageSize, ProtRW, KindAnon, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatalf("clone mmap at %v, donor at %v", a1, a2)
+	}
+}
+
+func TestNewFromLayoutRejectsBadInput(t *testing.T) {
+	phys := mem.New()
+	overlap := []VMA{
+		{Start: TextBase, End: TextBase + Addr(2*mem.PageSize), Prot: ProtRW},
+		{Start: TextBase + Addr(mem.PageSize), End: TextBase + Addr(3*mem.PageSize), Prot: ProtRW},
+	}
+	if _, err := NewFromLayout(phys, Costs{}, overlap, 0, 0, 0); err == nil {
+		t.Fatal("overlapping layout accepted")
+	}
+	if _, err := NewFromLayout(phys, Costs{}, nil, TextBase+1, TextBase+1, 0); err == nil {
+		t.Fatal("unaligned heap base accepted")
+	}
+	if _, err := NewFromLayout(phys, Costs{}, nil, TextBase, TextBase-Addr(mem.PageSize), 0); err == nil {
+		t.Fatal("brk below heap base accepted")
+	}
+}
+
+func TestMapFrameCoWSharesUntilWrite(t *testing.T) {
+	phys := mem.New()
+	donor := buildDonor(t, phys)
+	heap := donor.HeapBase()
+	vpn := heap.PageNum()
+	pte, ok := donor.PTEAt(vpn)
+	if !ok {
+		t.Fatal("donor heap page not resident")
+	}
+
+	clone, err := NewFromLayout(phys, Costs{}, donor.VMAs(), donor.HeapBase(), donor.BrkValue(), donor.MmapBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := phys.InUse()
+	if err := clone.MapFrameCoW(vpn, pte.Frame); err != nil {
+		t.Fatal(err)
+	}
+	if phys.InUse() != before {
+		t.Fatalf("CoW mapping allocated frames: %d -> %d", before, phys.InUse())
+	}
+	if phys.Refs(pte.Frame) != 2 {
+		t.Fatalf("frame refs = %d, want 2", phys.Refs(pte.Frame))
+	}
+	// The clone reads the donor's bytes through the shared frame.
+	if got := clone.ReadWord(heap); got != 0xAB00 {
+		t.Fatalf("clone read %#x, want 0xAB00", got)
+	}
+	// The first write copies; the donor's frame is untouched.
+	clone.WriteWord(heap, 0xDEAD)
+	if phys.Refs(pte.Frame) != 1 {
+		t.Fatalf("donor frame refs = %d after clone write, want 1", phys.Refs(pte.Frame))
+	}
+	if got := donor.ReadWord(heap); got != 0xAB00 {
+		t.Fatalf("donor saw clone's write: %#x", got)
+	}
+	if clone.Faults().CoW != 1 {
+		t.Fatalf("clone CoW faults = %d, want 1", clone.Faults().CoW)
+	}
+}
+
+func TestMapFrameCoWRejectsBadPages(t *testing.T) {
+	phys := mem.New()
+	donor := buildDonor(t, phys)
+	clone, err := NewFromLayout(phys, Costs{}, donor.VMAs(), donor.HeapBase(), donor.BrkValue(), donor.MmapBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pte, _ := donor.PTEAt(donor.HeapBase().PageNum())
+	if err := clone.MapFrameCoW(0x1, pte.Frame); err == nil {
+		t.Fatal("mapping outside any region accepted")
+	}
+	if err := clone.MapFrameCoW(donor.HeapBase().PageNum(), pte.Frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.MapFrameCoW(donor.HeapBase().PageNum(), pte.Frame); err == nil {
+		t.Fatal("double mapping accepted")
+	}
+}
