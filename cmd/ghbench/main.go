@@ -1,7 +1,7 @@
 // Command ghbench regenerates the paper's tables and figures from the
 // simulated testbed. Each experiment prints a text table whose rows/series
-// mirror the corresponding figure; EXPERIMENTS.md records the shape criteria
-// and paper-vs-measured comparisons.
+// mirror the corresponding figure; the experiments' shape criteria are
+// pinned by the tests in internal/experiments.
 //
 // Usage:
 //
@@ -29,7 +29,7 @@ var experimentNames = []string{
 	"table1", "table2", "table3", "headline",
 	"ablation-uffd", "ablation-coalesce", "ablation-trust", "ablation-statestore",
 	"ablation-timevirt", "loadsweep", "related-work", "fleet", "bench-restore",
-	"bench-coldstart",
+	"bench-coldstart", "bench-fleet",
 }
 
 func main() {
@@ -44,6 +44,8 @@ func main() {
 		"output path for the bench-restore JSON summary (empty disables)")
 	flag.StringVar(&coldstartJSONPath, "coldstart-json", "BENCH_coldstart.json",
 		"output path for the bench-coldstart JSON summary (empty disables)")
+	flag.StringVar(&fleetJSONPath, "fleet-json", "BENCH_fleet.json",
+		"output path for the bench-fleet JSON summary (empty disables)")
 	flag.Parse()
 
 	if *list {
@@ -170,6 +172,8 @@ func run(cfg experiments.Config, names []string, quick bool) error {
 			tb, err = benchRestore(cfg, quick)
 		case "bench-coldstart":
 			tb, err = benchColdStart(cfg)
+		case "bench-fleet":
+			tb, err = benchFleet(cfg, quick)
 		default:
 			return fmt.Errorf("unknown experiment %q (try -list)", name)
 		}
@@ -214,10 +218,11 @@ func benchRestore(cfg experiments.Config, quick bool) (*metrics.Table, error) {
 var coldstartJSONPath string
 
 // benchColdStart runs the snapshot-clone scale-out benchmark — full Fig. 1
-// cold start vs. clone cold start, plus fleet memory at 1/4/16 containers —
-// and writes BENCH_coldstart.json so CI can gate on cold-start cost and
-// frame-sharing regressions. The sweep is deterministic virtual time, so
-// quick mode needs no reduction.
+// cold start vs. clone cold start under both StateStore kinds (§5.5), plus
+// fleet memory at 1/4/16 containers — and writes BENCH_coldstart.json (one
+// array entry per store) so CI can gate on cold-start cost and frame-sharing
+// regressions. The sweep is deterministic virtual time, so quick mode needs
+// no reduction.
 func benchColdStart(cfg experiments.Config) (*metrics.Table, error) {
 	tb, res, err := experiments.ColdStartScaleOut(cfg)
 	if err != nil {
@@ -234,4 +239,30 @@ func benchColdStart(cfg experiments.Config) (*metrics.Table, error) {
 		fmt.Fprintf(os.Stderr, "ghbench: wrote %s\n", coldstartJSONPath)
 	}
 	return tb, nil
+}
+
+// fleetJSONPath is where benchFleet writes its summary.
+var fleetJSONPath string
+
+// benchFleet runs the clone-aware fleet benchmark — the same bursty
+// multi-function workload dispatched once with keep-alive-only scaling and
+// once with snapshot-clone scale-out plus scale-to-zero image eviction — and
+// writes BENCH_fleet.json so CI can gate on the fleet-level latency,
+// cold-start-cost, and frame figures.
+func benchFleet(cfg experiments.Config, quick bool) (*metrics.Table, error) {
+	res, err := experiments.FleetBench(cfg, quick)
+	if err != nil {
+		return nil, err
+	}
+	if fleetJSONPath != "" {
+		blob, err := json.MarshalIndent([]experiments.FleetBenchResult{res}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(fleetJSONPath, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "ghbench: wrote %s\n", fleetJSONPath)
+	}
+	return experiments.FleetBenchTable(res), nil
 }

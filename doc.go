@@ -7,11 +7,12 @@
 // platform, the fork/FAASM/no-op baselines, the paper's 58-benchmark
 // catalog, and a harness that regenerates every evaluation table and figure.
 //
-// Start with DESIGN.md for the system inventory and the substitution notes
-// (what ran on real hardware in the paper vs. what is simulated here and
-// why), EXPERIMENTS.md for paper-vs-measured results, and examples/ for
-// runnable walkthroughs. The root-level benchmarks (bench_test.go) regenerate
-// each figure at reduced scale:
+// Start with ARCHITECTURE.md for the package map, the three data paths
+// (restore fast path, UFFD dirty log, clone), and the table of invariants
+// with the tests that pin them; bench/README.md documents the benchmark
+// JSONs and the re-baseline workflow, and examples/ holds runnable
+// walkthroughs. The root-level benchmarks (bench_test.go) regenerate each
+// figure at reduced scale:
 //
 //	go test -bench=. -benchmem
 //
@@ -102,22 +103,41 @@
 // identical RestoreStats page counts, under both trackers — is pinned by
 // TestCloneEquivalence (core) and TestCloneEquivalentRestores (faas). The
 // scale-out sweep is exported as a benchmark that writes
-// BENCH_coldstart.json (full vs. clone virtual µs, fleet frames in use at
-// 1/4/16 containers):
+// BENCH_coldstart.json (full vs. clone virtual µs under both state stores,
+// fleet frames in use at 1/4/16 containers):
 //
 //	go run ./cmd/ghbench -e bench-coldstart
 //
+// # Clone-aware fleet scheduling and the image lifecycle
+//
+// The fleet simulation (internal/trace) is the clone subsystem's first
+// end-to-end consumer. With trace.Config.CloneScaleOut, the dispatcher's
+// scale-ups route through the snapshot-clone path — FunctionStats splits
+// cold starts into full vs. clone, with per-path latency summaries and the
+// summed virtual cold-start bill — and the keep-alive reaper gains a second
+// tier: with ScaleToZeroAfter set, a pool whose last container has idled
+// past the longer TTL scales to zero, and faas.Platform.EvictImage releases
+// the deployment's snapshot image (core.SnapshotImage is holder-refcounted;
+// frames return to PhysMem once no clone references them — pinned by
+// TestEvictImageReturnsFrames and TestFleetScaleToZeroEvictsImage). The next
+// scale-up re-runs the full pipeline and re-exports lazily. The fleet
+// comparison — keep-alive-only vs. clone scale-out under identical bursty
+// arrivals — is exported as a benchmark that writes BENCH_fleet.json:
+//
+//	go run ./cmd/ghbench -e bench-fleet
+//
 // # Benchmark regression gate
 //
-// Committed baselines for both benchmark JSONs live under bench/baselines/,
+// Committed baselines for the benchmark JSONs live under bench/baselines/,
 // generated with the exact flags CI uses (-quick). CI regenerates the JSONs
 // on every push and runs cmd/benchdiff against the baselines; any
 // allocation-count regression, any >25% drift of a deterministic virtual
-// cost or fleet frame count (in either direction), and any shape change
-// fails the build, while machine-dependent wall-clock and byte figures are
-// ignored. After an intentional performance change, re-baseline by
-// regenerating and committing the files:
+// cost or frame count (in either direction), and any shape change fails the
+// build, while machine-dependent wall-clock and byte figures are ignored.
+// After an intentional performance change, re-baseline by regenerating and
+// committing the files (bench/README.md walks through the full policy):
 //
 //	go run ./cmd/ghbench -e bench-restore -quick -restore-json bench/baselines/BENCH_restore.json
 //	go run ./cmd/ghbench -e bench-coldstart -quick -coldstart-json bench/baselines/BENCH_coldstart.json
+//	go run ./cmd/ghbench -e bench-fleet -quick -fleet-json bench/baselines/BENCH_fleet.json
 package groundhog

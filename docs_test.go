@@ -1,0 +1,105 @@
+// Docs checks, run by the CI docs job: every relative markdown link must
+// resolve to a file in the repository, and every ```go fence must hold
+// gofmt-clean Go (a whole file, or a fragment of declarations/statements).
+package groundhog_test
+
+import (
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// skippedDocs are verbatim source-material excerpts (paper abstracts,
+// exemplar snippets quoted from other repositories): their links point into
+// the repositories they were excerpted from, not into this one.
+var skippedDocs = map[string]bool{
+	"PAPER.md":    true,
+	"PAPERS.md":   true,
+	"SNIPPETS.md": true,
+	"ISSUE.md":    true,
+}
+
+// docFiles walks the repository for its own markdown files, at any depth
+// (filepath.Glob has no "**", so globbing would silently skip nested docs).
+// Dot-directories (.git, .claude) are tool state, not docs.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".md") && !skippedDocs[name] {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found; docs check running from the wrong directory?")
+	}
+	return files
+}
+
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinksResolve fails on markdown links to repository paths
+// that do not exist (external URLs and intra-page anchors are skipped).
+func TestDocsRelativeLinksResolve(t *testing.T) {
+	for _, f := range docFiles(t) {
+		blob, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(blob), -1) {
+			target := m[1]
+			switch {
+			case strings.Contains(target, "://"), strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(f), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: link %q does not resolve (%s)", f, m[1], resolved)
+			}
+		}
+	}
+}
+
+var goFence = regexp.MustCompile("(?s)```go\n(.*?)```")
+
+// TestDocsGoExamplesGofmtClean extracts every ```go fence from the docs and
+// checks it formats cleanly — examples in prose must hold to the same gofmt
+// bar as the code they describe.
+func TestDocsGoExamplesGofmtClean(t *testing.T) {
+	for _, f := range docFiles(t) {
+		blob, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range goFence.FindAllStringSubmatch(string(blob), -1) {
+			src := m[1]
+			formatted, err := format.Source([]byte(src))
+			if err != nil {
+				t.Errorf("%s: go example %d does not parse: %v", f, i+1, err)
+				continue
+			}
+			if string(formatted) != src {
+				t.Errorf("%s: go example %d is not gofmt-clean; want:\n%s", f, i+1, formatted)
+			}
+		}
+	}
+}

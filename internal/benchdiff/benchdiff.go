@@ -12,7 +12,8 @@
 //     small absolute slack fails — the zero-allocation hot paths must stay
 //     zero-allocation;
 //   - deterministic virtual costs (name ends in "_us" or contains
-//     "virtual") and physical frame counts ("frames_in_use"): relative
+//     "virtual") and physical frame counts (names ending in
+//     "frames_in_use", plus the fleet benchmark's "end_frames"): relative
 //     drift beyond the threshold fails in either direction — improvements
 //     require an intentional re-baseline, exactly like regressions;
 //   - identity strings (benchmark/tracker/mode names): must match exactly;
@@ -141,7 +142,7 @@ func check(path string, bv, cv any, maxDrift float64) (Violation, bool) {
 				Reason: "allocation-count regression"}, true
 		}
 	case strings.HasSuffix(name, "_us") || strings.Contains(name, "virtual") ||
-		name == "frames_in_use":
+		strings.HasSuffix(name, "frames_in_use") || name == "end_frames":
 		var drift float64
 		switch {
 		case bn != 0:

@@ -5,8 +5,9 @@ import (
 	"testing"
 )
 
-// baseline mirrors the shape of BENCH_restore.json (flat array) and
-// BENCH_coldstart.json (nested fleet array) in one document.
+// baseline mirrors the shape of BENCH_restore.json (flat array),
+// BENCH_coldstart.json (nested fleet array), and BENCH_fleet.json (nested
+// per-variant objects) in one document.
 const baseline = `[
   {
     "benchmark": "restore-steady-state",
@@ -27,6 +28,11 @@ const baseline = `[
       {"containers": 1, "frames_in_use": 3191},
       {"containers": 16, "frames_in_use": 3192}
     ]
+  },
+  {
+    "benchmark": "fleet-bursty-mix",
+    "keepalive": {"variant": "keepalive", "reaped": 13, "peak_frames_in_use": 708774, "end_frames": 219502},
+    "clone_scaleout": {"variant": "clone-scaleout", "reaped": 15, "peak_frames_in_use": 191146, "end_frames": 22532}
   }
 ]`
 
@@ -97,6 +103,26 @@ func TestFrameSharingRegressionFails(t *testing.T) {
 	vs := mustCompare(t, cur)
 	if len(vs) != 1 || !strings.Contains(vs[0].Path, "fleet[1].frames_in_use") {
 		t.Fatalf("frame-sharing regression not caught: %v", vs)
+	}
+}
+
+// TestFleetFrameMetricsGated: the fleet benchmark's peak and post-drain
+// frame counts are deterministic and gated; the reap counters are
+// informational context.
+func TestFleetFrameMetricsGated(t *testing.T) {
+	cur := strings.Replace(baseline, `"peak_frames_in_use": 191146`, `"peak_frames_in_use": 700000`, 1)
+	vs := mustCompare(t, cur)
+	if len(vs) != 1 || !strings.Contains(vs[0].Path, "clone_scaleout.peak_frames_in_use") {
+		t.Fatalf("fleet peak-frame regression not caught: %v", vs)
+	}
+	cur = strings.Replace(baseline, `"end_frames": 22532`, `"end_frames": 219502`, 1)
+	vs = mustCompare(t, cur)
+	if len(vs) != 1 || !strings.Contains(vs[0].Path, "clone_scaleout.end_frames") {
+		t.Fatalf("fleet eviction (end-frames) regression not caught: %v", vs)
+	}
+	cur = strings.Replace(baseline, `"reaped": 13`, `"reaped": 40`, 1)
+	if vs := mustCompare(t, cur); len(vs) != 0 {
+		t.Fatalf("informational reap counter flagged: %v", vs)
 	}
 }
 

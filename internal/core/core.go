@@ -361,3 +361,17 @@ func (m *Manager) StateStoreBytes() int {
 	}
 	return m.snap.store.bytes(m.kern.Phys)
 }
+
+// Release drops the manager's snapshot, returning the StateStore's frame
+// references (CoW stores, and clone stores sharing a snapshot image's
+// frames) to physical memory. Container teardown calls it alongside the
+// process's exit: the kernel frees the address space, Release frees the
+// snapshot — together a removed container's frames all return to PhysMem.
+// The manager must not snapshot or restore afterwards.
+func (m *Manager) Release() {
+	if m.snap == nil {
+		return
+	}
+	m.snap.store.recycle(m.kern.Phys)
+	m.snap = nil
+}

@@ -19,8 +19,12 @@ import (
 // image's frames CoW, so a fleet's physical memory grows with the pages
 // containers actually dirty, not with the container count.
 //
-// The image owns one reference per frame entry; Release drops them. It stays
-// valid after the donor container (and even its manager) is gone.
+// The image owns one reference per frame entry and is itself reference
+// counted: ExportImage hands it out with one holder reference, Retain adds
+// one per additional holder (a second platform sharing the same warm image),
+// and Release drops one — the frame references return to PhysMem only when
+// the last holder releases. It stays valid after the donor container (and
+// even its manager) is gone.
 type SnapshotImage struct {
 	phys     *mem.PhysMem
 	layout   []vm.VMA
@@ -30,6 +34,7 @@ type SnapshotImage struct {
 	regs     []kernel.Regs
 	vpns     []uint64
 	frames   []mem.FrameID
+	refs     int
 	released bool
 }
 
@@ -39,12 +44,29 @@ func (img *SnapshotImage) Pages() int { return len(img.vpns) }
 // VMAs reports the number of memory regions in the image.
 func (img *SnapshotImage) VMAs() int { return len(img.layout) }
 
-// Release drops the image's frame references. Processes already spawned from
-// the image keep their own references and are unaffected.
+// Retain adds a holder reference; the matching Release will not free the
+// image's frames. Retaining a released image is a lifetime bug and panics.
+func (img *SnapshotImage) Retain() {
+	if img.released {
+		panic("core: Retain on released snapshot image")
+	}
+	img.refs++
+}
+
+// Release drops one holder reference; when the last holder releases, the
+// image's frame references return to physical memory (a frame whose only
+// remaining reference was the image's is freed — eviction on scale-to-zero).
+// Processes already spawned from the image keep their own references and are
+// unaffected. Release on an already-released image is a no-op.
 func (img *SnapshotImage) Release() {
 	if img.released {
 		return
 	}
+	if img.refs > 1 {
+		img.refs--
+		return
+	}
+	img.refs = 0
 	img.released = true
 	for _, f := range img.frames {
 		img.phys.Unref(f)
@@ -75,6 +97,7 @@ func (m *Manager) ExportImage(meter *sim.Meter) (*SnapshotImage, error) {
 		mmapBase: snap.mmapBase,
 		vpns:     append([]uint64(nil), snap.store.vpns...),
 		frames:   make([]mem.FrameID, 0, len(snap.store.vpns)),
+		refs:     1,
 	}
 	for _, th := range m.proc.Threads {
 		regs, ok := snap.regs[th.TID]

@@ -233,3 +233,61 @@ func TestExportBeforeSnapshotRejected(t *testing.T) {
 		t.Fatal("export before snapshot accepted")
 	}
 }
+
+// TestImageRetainRelease pins the holder refcount: a retained image survives
+// the first Release (a second platform may still clone from it) and frees
+// its frames only on the last, returning them to physical memory.
+func TestImageRetainRelease(t *testing.T) {
+	k, _, donor := cloneDonor(t, core.DefaultOptions(), 32)
+	before := k.Phys.InUse()
+	img, err := donor.ExportImage(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exported := k.Phys.InUse()
+	if exported <= before {
+		t.Fatalf("copy-store export materialized no frames (%d -> %d)", before, exported)
+	}
+	img.Retain()
+	img.Release()
+	clone, err := core.NewManagerFromSnapshot(k, img, core.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatalf("retained image unusable after one Release: %v", err)
+	}
+	withClone := k.Phys.InUse() // the clone's store and PTEs share the frames
+	img.Release()
+	// The clone still references every image frame, so the final holder
+	// Release frees nothing yet — it only drops the image's refcounts.
+	if k.Phys.InUse() != withClone {
+		t.Fatalf("image Release freed %d frames out from under a live clone",
+			withClone-k.Phys.InUse())
+	}
+	if _, err := core.NewManagerFromSnapshot(k, img, core.DefaultOptions(), nil); err == nil {
+		t.Fatal("clone from fully released image accepted")
+	}
+	// Tearing the clone down frees the frames the image and clone shared.
+	k.Exit(clone.Process())
+	clone.Release()
+	if got := k.Phys.InUse(); got != before {
+		t.Fatalf("%d frames in use after image and clone teardown, want %d", got, before)
+	}
+	img.Release() // idempotent after the last holder
+}
+
+// TestManagerReleaseFreesCoWStore: releasing a CoW-store manager returns the
+// snapshot's frame references (the half the kernel's process exit does not
+// free).
+func TestManagerReleaseFreesCoWStore(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Store = core.StoreCoW
+	k, p, m := cloneDonor(t, opts, 32)
+	k.Exit(p)
+	if k.Phys.InUse() == 0 {
+		t.Fatal("process exit alone freed the snapshot store's frames")
+	}
+	m.Release()
+	if got := k.Phys.InUse(); got != 0 {
+		t.Fatalf("%d frames leaked after manager release", got)
+	}
+	m.Release() // idempotent
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"groundhog/internal/catalog"
+	"groundhog/internal/core"
 	"groundhog/internal/faas"
 	"groundhog/internal/isolation"
+	"groundhog/internal/kernel"
 	"groundhog/internal/metrics"
 	"groundhog/internal/runtimes"
 	"groundhog/internal/sim"
@@ -28,8 +30,12 @@ type ColdStartFleetPoint struct {
 // memory growing sub-linearly in container count thanks to cross-container
 // frame sharing.
 type ColdStartBenchResult struct {
-	Benchmark       string                `json:"benchmark"`
-	Mode            string                `json:"mode"`
+	Benchmark string `json:"benchmark"`
+	Mode      string `json:"mode"`
+	// Store names the donor's StateStore implementation (§5.5): "copy"
+	// materializes the image's frames once from the snapshot arena at
+	// export; "cow" exports by referencing the already-frozen frames.
+	Store           string                `json:"store"`
 	FullColdStartUs float64               `json:"full_cold_start_virtual_us"`
 	FirstCloneUs    float64               `json:"first_clone_virtual_us"`
 	SteadyCloneUs   float64               `json:"steady_clone_virtual_us"`
@@ -48,10 +54,11 @@ type ColdStartBenchResult struct {
 }
 
 // ColdStartBench scales one deployment out by snapshot cloning: the first
-// container pays the full pipeline, each further container is cloned from
-// its snapshot image. counts must be ascending; the fleet memory accounting
-// is sampled at each count before any requests are served.
-func ColdStartBench(cfg Config, prof runtimes.Profile, mode isolation.Mode, counts []int) (ColdStartBenchResult, error) {
+// container pays the full pipeline (with the given StateStore kind), each
+// further container is cloned from its snapshot image. counts must be
+// ascending; the fleet memory accounting is sampled at each count before any
+// requests are served.
+func ColdStartBench(cfg Config, prof runtimes.Profile, mode isolation.Mode, store core.StoreKind, counts []int) (ColdStartBenchResult, error) {
 	if len(counts) == 0 || counts[0] != 1 {
 		return ColdStartBenchResult{}, fmt.Errorf("coldstart: counts must start at 1, got %v", counts)
 	}
@@ -60,15 +67,22 @@ func ColdStartBench(cfg Config, prof runtimes.Profile, mode isolation.Mode, coun
 			return ColdStartBenchResult{}, fmt.Errorf("coldstart: counts must be ascending, got %v", counts)
 		}
 	}
-	pl, err := faas.NewPlatform(cfg.Cost, prof, mode, 1, cfg.Seed)
+	// Deploy with zero constructor containers so the store kind is in place
+	// before the donor's strategy is built.
+	pl, err := faas.NewPlatformOn(sim.NewEngine(), kernel.New(cfg.Cost), prof, mode, 0, cfg.Seed)
 	if err != nil {
 		return ColdStartBenchResult{}, err
 	}
 	pl.CloneScaleOut = true
+	pl.Store = store
+	if _, err := pl.AddContainer(); err != nil {
+		return ColdStartBenchResult{}, err
+	}
 
 	res := ColdStartBenchResult{
 		Benchmark:       prof.DisplayName(),
 		Mode:            string(mode),
+		Store:           store.String(),
 		FullColdStartUs: us(pl.Containers()[0].ColdStart().Total),
 	}
 	sample := func(n int) {
@@ -115,34 +129,42 @@ func ColdStartBench(cfg Config, prof runtimes.Profile, mode isolation.Mode, coun
 }
 
 // ColdStartScaleOut runs the scale-out sweep for the console: one deployment
-// scaled by cloning, with per-count cold-start cost and fleet memory, plus
-// the counterfactual linear-growth column a platform without frame sharing
-// would show.
+// scaled by cloning under each StateStore kind (§5.5), with per-count
+// cold-start cost and fleet memory, plus the counterfactual linear-growth
+// column a platform without frame sharing would show.
 func ColdStartScaleOut(cfg Config) (*metrics.Table, []ColdStartBenchResult, error) {
 	e, err := catalog.Lookup("get-time (p)")
 	if err != nil {
 		return nil, nil, err
 	}
 	counts := []int{1, 4, 16}
-	res, err := ColdStartBench(cfg, e.Prof, isolation.ModeGH, counts)
-	if err != nil {
-		return nil, nil, err
+	var results []ColdStartBenchResult
+	for _, store := range []core.StoreKind{core.StoreCopy, core.StoreCoW} {
+		res, err := ColdStartBench(cfg, e.Prof, isolation.ModeGH, store, counts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s store: %w", store, err)
+		}
+		results = append(results, res)
 	}
+	r0 := results[0]
 	t := metrics.NewTable(
-		fmt.Sprintf("Snapshot-clone scale-out: %s under %s (full cold start %.0f µs, first clone %.0f µs, steady clone %.0f µs, %.0fx)",
-			res.Benchmark, res.Mode, res.FullColdStartUs, res.FirstCloneUs, res.SteadyCloneUs, res.SpeedupX),
-		"containers", "frames in use", "if linear", "shared pages", "resident pages", "state store (KB)")
-	for _, p := range res.Fleet {
-		t.AddRow(
-			fmt.Sprintf("%d", p.Containers),
-			fmt.Sprintf("%d", p.FramesInUse),
-			fmt.Sprintf("%d", res.Fleet[0].FramesInUse*p.Containers),
-			fmt.Sprintf("%d", p.SharedFramePages),
-			fmt.Sprintf("%d", p.ResidentPages),
-			fmt.Sprintf("%.1f", float64(p.StateStoreBytes)/1024),
-		)
+		fmt.Sprintf("Snapshot-clone scale-out: %s under %s (copy store: full cold start %.0f µs, first clone %.0f µs, steady clone %.0f µs, %.0fx)",
+			r0.Benchmark, r0.Mode, r0.FullColdStartUs, r0.FirstCloneUs, r0.SteadyCloneUs, r0.SpeedupX),
+		"store", "containers", "frames in use", "if linear", "shared pages", "resident pages", "state store (KB)")
+	for _, res := range results {
+		for _, p := range res.Fleet {
+			t.AddRow(
+				res.Store,
+				fmt.Sprintf("%d", p.Containers),
+				fmt.Sprintf("%d", p.FramesInUse),
+				fmt.Sprintf("%d", res.Fleet[0].FramesInUse*p.Containers),
+				fmt.Sprintf("%d", p.SharedFramePages),
+				fmt.Sprintf("%d", p.ResidentPages),
+				fmt.Sprintf("%.1f", float64(p.StateStoreBytes)/1024),
+			)
+		}
 	}
-	return t, []ColdStartBenchResult{res}, nil
+	return t, results, nil
 }
 
 // us converts a virtual duration to microseconds.

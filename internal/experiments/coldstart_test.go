@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"groundhog/internal/catalog"
+	"groundhog/internal/core"
 	"groundhog/internal/isolation"
 )
 
@@ -12,7 +13,7 @@ func TestColdStartBenchCloneSpeedupAndSubLinearMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ColdStartBench(quick(), e.Prof, isolation.ModeGH, []int{1, 4, 16})
+	res, err := ColdStartBench(quick(), e.Prof, isolation.ModeGH, core.StoreCopy, []int{1, 4, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +73,48 @@ func TestColdStartScaleOutTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tb == nil || len(res) != 1 {
+	if tb == nil || len(res) != 2 {
 		t.Fatalf("table %v, results %d", tb, len(res))
+	}
+	if res[0].Store != "copy" || res[1].Store != "cow" {
+		t.Fatalf("store variants = %q, %q", res[0].Store, res[1].Store)
 	}
 	out := tb.Render()
 	if len(out) == 0 {
 		t.Fatal("empty render")
+	}
+}
+
+// TestColdStartBenchCoWStoreSharesExport pins the §5.5 difference at the
+// platform level: the CoW store's image export takes references on the
+// already-frozen frames, so it materializes (nearly) no new frames, while the
+// copy store pays a one-time materialization.
+func TestColdStartBenchCoWStoreSharesExport(t *testing.T) {
+	e, err := catalog.Lookup("get-time (p)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int{1, 4, 16}
+	copyRes, err := ColdStartBench(quick(), e.Prof, isolation.ModeGH, core.StoreCopy, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cowRes, err := ColdStartBench(quick(), e.Prof, isolation.ModeGH, core.StoreCoW, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cowRes.ExportFrames >= copyRes.ExportFrames {
+		t.Fatalf("CoW export materialized %d frames, copy store %d; CoW should share instead",
+			cowRes.ExportFrames, copyRes.ExportFrames)
+	}
+	if cowRes.FirstCloneUs >= copyRes.FirstCloneUs {
+		t.Fatalf("CoW first clone %.0f µs not below copy-store first clone %.0f µs (export should be reference-only)",
+			cowRes.FirstCloneUs, copyRes.FirstCloneUs)
+	}
+	if cowRes.SpeedupX < 10 {
+		t.Fatalf("CoW-store clone speedup %.1fx < 10x", cowRes.SpeedupX)
+	}
+	if cowRes.FramesPerExtra != 0 {
+		t.Fatalf("CoW-store marginal frames per extra container = %.2f, want 0", cowRes.FramesPerExtra)
 	}
 }

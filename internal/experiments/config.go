@@ -7,8 +7,7 @@
 // coalescing).
 //
 // Every experiment returns rendered text tables whose rows/series mirror the
-// paper's; EXPERIMENTS.md records paper-vs-measured values and the shape
-// criteria each must satisfy.
+// paper's; the package's tests record the shape criteria each must satisfy.
 package experiments
 
 import (

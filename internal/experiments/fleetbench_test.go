@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFleetBenchCloneBeatsKeepAlive pins the headline acceptance criterion:
+// under identical bursty arrivals (same seed, same request counts), the
+// clone-scale-out fleet's total cold-start virtual cost is strictly below
+// the keep-alive-only fleet's, and its memory footprint no worse.
+func TestFleetBenchCloneBeatsKeepAlive(t *testing.T) {
+	res, err := FleetBench(quick(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, cl := res.KeepAlive, res.CloneScaleOut
+
+	if ka.Requests == 0 {
+		t.Fatal("keep-alive fleet served no requests")
+	}
+	if ka.Requests != cl.Requests {
+		t.Fatalf("request counts diverge: keep-alive %d, clone %d (arrivals must be dispatch-independent)",
+			ka.Requests, cl.Requests)
+	}
+	if ka.FullColdStarts == 0 {
+		t.Fatal("workload never scaled up; the comparison is vacuous")
+	}
+	if ka.CloneColdStarts != 0 {
+		t.Fatalf("keep-alive fleet took %d clone cold starts with cloning disabled", ka.CloneColdStarts)
+	}
+	if cl.CloneColdStarts == 0 {
+		t.Fatal("clone fleet never cloned")
+	}
+	if cl.ColdStartVirtualUs >= ka.ColdStartVirtualUs {
+		t.Fatalf("clone fleet cold-start cost %.0f µs not strictly below keep-alive %.0f µs",
+			cl.ColdStartVirtualUs, ka.ColdStartVirtualUs)
+	}
+	if cl.PeakFramesInUse > ka.PeakFramesInUse {
+		t.Fatalf("clone fleet peak frames %d exceed keep-alive %d; frame sharing lost",
+			cl.PeakFramesInUse, ka.PeakFramesInUse)
+	}
+	// Scale-to-zero ran in both fleets; only the cloning one holds images
+	// to evict.
+	if cl.ScaledToZero > 0 && cl.ImagesEvicted == 0 && cl.CloneColdStarts > 0 {
+		t.Fatal("clone fleet scaled to zero without ever evicting an image")
+	}
+	if res.ColdStartSavingsX <= 1 {
+		t.Fatalf("cold-start savings %.2fx, want > 1x", res.ColdStartSavingsX)
+	}
+}
+
+func TestFleetBenchTableRenders(t *testing.T) {
+	res, err := FleetBench(quick(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FleetBenchTable(res).Render()
+	for _, want := range []string{"full cold starts", "clone cold starts", "peak frames"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

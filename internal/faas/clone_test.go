@@ -3,8 +3,10 @@ package faas
 import (
 	"testing"
 
+	"groundhog/internal/core"
 	"groundhog/internal/isolation"
 	"groundhog/internal/kernel"
+	"groundhog/internal/sim"
 )
 
 // clonePlatform deploys one GH container with clone scale-out enabled.
@@ -233,5 +235,111 @@ func TestCloneFallsBackWithoutDonor(t *testing.T) {
 	}
 	if off.template != nil {
 		t.Fatal("disabled platform captured a clone template")
+	}
+}
+
+// TestEvictImageReturnsFrames is the scale-to-zero acceptance pin: after the
+// last container is removed and the image evicted, every frame the
+// deployment materialized — container address spaces, snapshot stores, and
+// the exported image — is back in the kernel's physical memory pool. Both
+// StateStore kinds must hold the invariant.
+func TestEvictImageReturnsFrames(t *testing.T) {
+	for _, store := range []core.StoreKind{core.StoreCopy, core.StoreCoW} {
+		t.Run(store.String(), func(t *testing.T) {
+			kern := kernel.New(kernel.Default())
+			before := kern.Phys.InUse()
+			pl, err := NewPlatformOn(sim.NewEngine(), kern, testProfile(), isolation.ModeGH, 0, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl.CloneScaleOut = true
+			pl.Store = store
+			for i := 0; i < 3; i++ {
+				if _, err := pl.AddContainer(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if pl.Containers()[1].ColdStart().ClonedFrom < 0 {
+				t.Fatal("scale-out did not clone")
+			}
+			mid := kern.Phys.InUse()
+			if mid <= before {
+				t.Fatalf("fleet holds no frames (%d -> %d)", before, mid)
+			}
+			for len(pl.Containers()) > 0 {
+				pl.RemoveContainer(pl.Containers()[0])
+			}
+			if !pl.EvictImage() {
+				t.Fatal("no image to evict despite clone scale-out")
+			}
+			if got := kern.Phys.InUse(); got != before {
+				t.Fatalf("%d frames still in use after scale-to-zero eviction (started at %d)", got, before)
+			}
+			if pl.EvictImage() {
+				t.Fatal("second eviction claims to have released an image")
+			}
+		})
+	}
+}
+
+// TestEvictImageSafeWithLiveClones: eviction only drops the image's own
+// frame references; containers already cloned from it keep theirs and stay
+// serviceable. A surviving container then seeds the re-export — the next
+// scale-up captures a fresh template from it instead of replaying the full
+// pipeline, so the donor role migrates rather than resetting.
+func TestEvictImageSafeWithLiveClones(t *testing.T) {
+	pl := clonePlatform(t, isolation.ModeGH)
+	donor := pl.Containers()[0]
+	clone, err := pl.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.EvictImage() {
+		t.Fatal("no image to evict")
+	}
+	pl.Engine.RunUntil(clone.Ready())
+	if _, err := pl.Serve(clone, ""); err != nil {
+		t.Fatalf("clone broken by eviction: %v", err)
+	}
+
+	// The original donor is still pooled and pristine: the re-export after
+	// eviction captures it again.
+	recloned, err := pl.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recloned.ColdStart().ClonedFrom != donor.ID {
+		t.Fatalf("re-export after eviction failed: %+v", recloned.ColdStart())
+	}
+	pl.Engine.RunUntil(recloned.Ready())
+	if _, err := pl.Serve(recloned, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoveContainerReleasesCloneStore: a removed clone's state-store frame
+// references go back to the pool with it — keep-alive churn over clones must
+// not leak the image's refcounts upward.
+func TestRemoveContainerReleasesCloneStore(t *testing.T) {
+	pl := clonePlatform(t, isolation.ModeGH)
+	if _, err := pl.AddContainer(); err != nil {
+		t.Fatal(err)
+	}
+	base := pl.Kern.Phys.InUse()
+	c, err := pl.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Kern.Phys.InUse() != base {
+		// Clones share every frame; an unserved clone must cost zero frames.
+		t.Fatalf("unserved clone cost %d frames", pl.Kern.Phys.InUse()-base)
+	}
+	pl.Engine.RunUntil(c.Ready())
+	if _, err := pl.Serve(c, ""); err != nil {
+		t.Fatal(err)
+	}
+	pl.RemoveContainer(c)
+	if got := pl.Kern.Phys.InUse(); got != base {
+		t.Fatalf("removed clone left %d frames behind", got-base)
 	}
 }

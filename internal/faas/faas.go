@@ -154,6 +154,13 @@ type Platform struct {
 	// default: the paper's experiments measure full cold starts.
 	CloneScaleOut bool
 
+	// Store selects the StateStore implementation (§5.5) for the snapshotting
+	// strategies: the eager copy store the paper ships (the zero value), or
+	// the copy-on-write store it sketches. It must be set before containers
+	// are created — deploy with zero constructor containers (NewPlatformOn)
+	// and AddContainer afterwards to use a non-default store.
+	Store core.StoreKind
+
 	mode            isolation.Mode
 	prof            runtimes.Profile
 	containers      []*Container
@@ -233,15 +240,65 @@ func (pl *Platform) AddContainer() (*Container, error) {
 }
 
 // RemoveContainer shuts a container down (keep-alive expiry), terminating
-// its function process and releasing its memory.
+// its function process and releasing its memory — both the address space
+// (kernel exit) and the strategy's snapshot frame references (CoW and
+// clone-shared stores), so a removed clone's share of the image frames goes
+// back to the pool. A strategy currently held as the deployment's
+// not-yet-exported clone template is kept alive: its snapshot is the donor
+// material future clones are exported from.
 func (pl *Platform) RemoveContainer(c *Container) {
 	pl.Kern.Exit(c.inst.Proc)
+	if pl.template == nil || any(pl.template.strat) != any(c.strat) {
+		if r, ok := c.strat.(isolation.Releaser); ok {
+			r.Release()
+		}
+	}
 	for i, x := range pl.containers {
 		if x == c {
 			pl.containers = append(pl.containers[:i], pl.containers[i+1:]...)
 			return
 		}
 	}
+}
+
+// EvictImage drops the deployment's clone template and releases its snapshot
+// image — the scale-to-zero policy: with no containers left, the exported
+// image's materialized frames are the deployment's only remaining physical
+// memory, and a provider reclaims them after a long-enough idle period. The
+// next scale-up runs the full Fig. 1 pipeline again and re-exports lazily on
+// the next clone. Returns true when an exported image was actually released
+// (platforms that never cloned hold no image). Safe to call at any time:
+// containers already cloned from the image keep their own frame references.
+func (pl *Platform) EvictImage() bool {
+	t := pl.template
+	if t == nil {
+		return false
+	}
+	pl.template = nil
+	evicted := false
+	if t.image != nil {
+		t.image.Release()
+		evicted = true
+	}
+	// A template captured but never exported pins the donor strategy's
+	// snapshot. If the donor container is gone, nothing else will release
+	// it; if it is still pooled, its own RemoveContainer does.
+	if t.strat != nil && !pl.ownsStrategy(t.strat) {
+		if r, ok := t.strat.(isolation.Releaser); ok {
+			r.Release()
+		}
+	}
+	return evicted
+}
+
+// ownsStrategy reports whether a pooled container currently uses strat.
+func (pl *Platform) ownsStrategy(strat isolation.Cloneable) bool {
+	for _, c := range pl.containers {
+		if any(c.strat) == any(strat) {
+			return true
+		}
+	}
+	return false
 }
 
 // Serve executes one request from the given caller on container c at the
@@ -285,7 +342,7 @@ func (pl *Platform) coldStart(id int, seed uint64) (*Container, error) {
 	inst.WarmUp(warmMeter)
 	sim.ChargeTo(m, warmMeter.Total())
 
-	strat, err := isolation.New(pl.mode, pl.Kern, inst.Proc)
+	strat, err := isolation.NewWithStore(pl.mode, pl.Kern, inst.Proc, pl.Store)
 	if err != nil {
 		return nil, err
 	}

@@ -88,6 +88,15 @@ type StateStorer interface {
 	StateStoreBytes() int
 }
 
+// Releaser is implemented by strategies that hold kernel resources beyond
+// the function process itself — snapshot frame references in a CoW or
+// clone-shared state store. Release returns them to physical memory; the
+// platform calls it when the container is torn down (the process's own
+// memory is freed separately by the kernel's exit).
+type Releaser interface {
+	Release()
+}
+
 // CanClone reports whether mode's strategy records a snapshot that sibling
 // containers can be cloned from. BASE has no snapshot and fork-based
 // isolation re-forks from the warm parent per request, so neither supports
@@ -120,19 +129,29 @@ func NewCloned(mode Mode, k *kernel.Kernel, img *core.SnapshotImage, meter *sim.
 	return &groundhogStrategy{kern: k, manager: m, proc: p, restore: mode == ModeGH}, p, nil
 }
 
-// New constructs the strategy for mode over the warm function process p.
+// New constructs the strategy for mode over the warm function process p,
+// using the default eager-copy StateStore for snapshotting strategies.
 func New(mode Mode, k *kernel.Kernel, p *kernel.Process) (Strategy, error) {
+	return NewWithStore(mode, k, p, core.StoreCopy)
+}
+
+// NewWithStore is New with an explicit StateStore implementation (§5.5) for
+// the snapshotting strategies (GH, GH-NOP, FAASM); BASE and fork take no
+// snapshot and ignore it.
+func NewWithStore(mode Mode, k *kernel.Kernel, p *kernel.Process, store core.StoreKind) (Strategy, error) {
+	opts := core.DefaultOptions()
+	opts.Store = store
 	switch mode {
 	case ModeBase:
 		return &baseStrategy{proc: p}, nil
 	case ModeGH:
-		return newGroundhog(k, p, true)
+		return newGroundhog(k, p, true, opts)
 	case ModeGHNop:
-		return newGroundhog(k, p, false)
+		return newGroundhog(k, p, false, opts)
 	case ModeFork:
 		return newForkStrategy(k, p)
 	case ModeFaasm:
-		return newFaasm(k, p)
+		return newFaasm(k, p, opts)
 	default:
 		return nil, fmt.Errorf("isolation: unknown mode %q", mode)
 	}
@@ -168,8 +187,8 @@ type groundhogStrategy struct {
 	restore bool
 }
 
-func newGroundhog(k *kernel.Kernel, p *kernel.Process, restore bool) (*groundhogStrategy, error) {
-	m, err := core.NewManager(k, p, core.DefaultOptions())
+func newGroundhog(k *kernel.Kernel, p *kernel.Process, restore bool, opts core.Options) (*groundhogStrategy, error) {
+	m, err := core.NewManager(k, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -204,6 +223,10 @@ func (s *groundhogStrategy) ExportImage(meter *sim.Meter) (*core.SnapshotImage, 
 
 // StateStoreBytes reports the manager's state-store memory.
 func (s *groundhogStrategy) StateStoreBytes() int { return s.manager.StateStoreBytes() }
+
+// Release returns the manager's snapshot frame references to physical memory
+// (container teardown).
+func (s *groundhogStrategy) Release() { s.manager.Release() }
 
 func (s *groundhogStrategy) BeginRequest(*sim.Meter) (*kernel.Process, error) {
 	if !s.manager.HasSnapshot() {
@@ -283,8 +306,8 @@ type faasmStrategy struct {
 	proc    *kernel.Process
 }
 
-func newFaasm(k *kernel.Kernel, p *kernel.Process) (*faasmStrategy, error) {
-	m, err := core.NewManager(k, p, core.DefaultOptions())
+func newFaasm(k *kernel.Kernel, p *kernel.Process, opts core.Options) (*faasmStrategy, error) {
+	m, err := core.NewManager(k, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -311,6 +334,10 @@ func (s *faasmStrategy) ExportImage(meter *sim.Meter) (*core.SnapshotImage, erro
 
 // StateStoreBytes reports the checkpoint's state-store memory.
 func (s *faasmStrategy) StateStoreBytes() int { return s.manager.StateStoreBytes() }
+
+// Release returns the checkpoint's frame references to physical memory
+// (Faaslet teardown).
+func (s *faasmStrategy) Release() { s.manager.Release() }
 
 func (s *faasmStrategy) BeginRequest(*sim.Meter) (*kernel.Process, error) {
 	if !s.manager.HasSnapshot() {

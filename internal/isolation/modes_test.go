@@ -1,6 +1,10 @@
 package isolation
 
-import "testing"
+import (
+	"testing"
+
+	"groundhog/internal/core"
+)
 
 func TestModeAndSkipFlags(t *testing.T) {
 	k, p := warmProcess(t, 1)
@@ -27,7 +31,7 @@ func TestModeAndSkipFlags(t *testing.T) {
 
 func TestGroundhogManagerAccessor(t *testing.T) {
 	k, p := warmProcess(t, 1)
-	s, err := newGroundhog(k, p, true)
+	s, err := newGroundhog(k, p, true, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,12 +8,52 @@ import (
 )
 
 // CostModel is the complete virtual-time price list for the simulation. It
-// substitutes for the paper's physical testbed (Intel Xeon E5-2667 v2); see
-// DESIGN.md §5. The calibration targets the orders of magnitude the paper
-// reports — e.g. restores between ~0.6 ms (tiny C functions) and ~160 ms
+// substitutes for the paper's physical testbed (Intel Xeon E5-2667 v2).
+// The calibration targets the orders of magnitude the paper reports — e.g. restores between ~0.6 ms (tiny C functions) and ~160 ms
 // (Node.js with a 208 K-page address space), soft-dirty arming faults far
 // cheaper than CoW copy faults — so that the figures' *shapes* (orderings,
 // slopes, crossovers) reproduce.
+//
+// Every knob, the syscall or operation it models, the change that introduced
+// it (seed = the original reproduction; PR n as recorded in CHANGES.md), and
+// its calibrated default (Default):
+//
+//	knob                      models                                              since  default
+//	------------------------  --------------------------------------------------  -----  -------
+//	VM (vm.Costs)             per-access/per-fault memory costs (see vm package)  seed   —
+//	PtraceAttachPerThread     PTRACE_SEIZE per thread                             seed   22 µs
+//	PtraceInterruptPerThread  PTRACE_INTERRUPT + stop per thread                  seed   55 µs
+//	PtraceGetRegsPerThread    PTRACE_GETREGS per thread                           seed   3 µs
+//	PtraceSetRegsPerThread    PTRACE_SETREGS per thread                           seed   3 µs
+//	PtraceSyscallInject       one injected syscall (excl. its own work)           seed   15 µs
+//	PtraceDetachPerThread     PTRACE_DETACH per thread                            seed   14 µs
+//	PtracePeekPerPage         process_vm_readv of one tracee page                 seed   600 ns
+//	PtracePokePerPage         process_vm_writev of one tracee page                seed   700 ns
+//	ReadMapsBase              open+parse /proc/pid/maps                           seed   90 µs
+//	ReadMapsPerVMA            one maps line                                       seed   900 ns
+//	PagemapPerPage            pagemap soft-dirty read per PTE                     seed   60 ns
+//	PagemapRangeBase          seek for one VMA-scoped pagemap read                PR 1   250 ns
+//	ClearRefsPerPage          /proc/pid/clear_refs write per PTE                  seed   30 ns
+//	ResidentScanPerPage       mincore-style paged-in check per resident page      PR 2   25 ns
+//	DiffPerVMA                manager-side layout diff per region                 seed   500 ns
+//	PageCopy                  restore copy, first page of a run                   seed   4200 ns
+//	PageCopyTail              restore copy, subsequent run pages                  seed   2100 ns
+//	RestoreRunSetup           one batched run-copy call setup                     PR 1   0
+//	SnapshotBase              snapshot fixed cost (§4.2)                          seed   900 µs
+//	SnapshotPerPage           eager page copy into the StateStore                 seed   1400 ns
+//	SnapshotCoWPerPage        CoW frame reference + write-protect (§5.5)          seed   180 ns
+//	ForkBase                  fork(2) fixed cost                                  seed   65 µs
+//	ForkPerPage               fork page-table duplication per resident page       seed   450 ns
+//	SpawnProcess              fork+exec of the runtime (cold start)               seed   2 ms
+//	CloneFromSnapshotBase     spawn-from-image process creation                   PR 3   180 µs
+//	ClonePTEPerPage           PTE install + frame ref per recorded page           PR 3   220 ns
+//	PipePerKB                 pipe copy per KB of proxied request bytes           seed   1200 ns
+//	ProxyPerRequest           manager relay per request+response (§4.5)           seed   110 µs
+//	FaasmResetBase            Faaslet linear-memory remap (§5.3.3)                seed   550 µs
+//	FaasmResetPerPage         Faaslet CoW repair per dirty page                   seed   500 ns
+//	PlatformOverhead          controller+LB+invoker platform path (§5.3)          seed   24 ms
+//	EnvInstantiation          container image/cgroup/netns setup (Fig. 1)         seed   350 ms
+//	RuntimeInitBase           runtime initialization floor (Fig. 1)               seed   80 ms
 type CostModel struct {
 	// VM holds per-access and per-fault costs (see vm.Costs).
 	VM vm.Costs

@@ -33,6 +33,12 @@ func (s *Summary) AddDuration(d time.Duration) {
 // N returns the number of samples.
 func (s *Summary) N() int { return len(s.samples) }
 
+// Samples returns a copy of the accumulated samples, for pooling several
+// summaries into one (fleet-wide percentiles over per-function summaries).
+func (s *Summary) Samples() []float64 {
+	return append([]float64(nil), s.samples...)
+}
+
 // Mean returns the arithmetic mean (0 for no samples).
 func (s *Summary) Mean() float64 {
 	if len(s.samples) == 0 {

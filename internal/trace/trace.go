@@ -46,6 +46,23 @@ type Config struct {
 	KeepAlive sim.Duration
 	// Window is the simulated duration.
 	Window sim.Duration
+
+	// CloneScaleOut routes scale-up through the snapshot-clone fast path
+	// (faas.Platform.CloneScaleOut): after a function's first full cold
+	// start, later containers are spawned from its snapshot image instead
+	// of replaying the Fig. 1 pipeline. Modes without a snapshot (BASE,
+	// fork) silently fall back to full cold starts.
+	CloneScaleOut bool
+
+	// ScaleToZeroAfter, when positive, lets the reaper take a function's
+	// pool all the way to zero: once the last container has been idle
+	// longer than this TTL (and the queue is empty), it is removed and the
+	// deployment's exported snapshot image is evicted, returning its
+	// materialized frames to the kernel. The next request pays a full cold
+	// start (and, under CloneScaleOut, re-exports the image on the next
+	// scale-up). Must be at least KeepAlive; zero keeps the warm floor
+	// forever (the classic keep-alive policy).
+	ScaleToZeroAfter sim.Duration
 }
 
 // Validate checks the configuration.
@@ -59,19 +76,43 @@ func (c Config) Validate() error {
 	if c.KeepAlive <= 0 {
 		return fmt.Errorf("trace: non-positive keep-alive")
 	}
+	if c.ScaleToZeroAfter < 0 {
+		return fmt.Errorf("trace: negative scale-to-zero TTL")
+	}
+	if c.ScaleToZeroAfter > 0 && c.ScaleToZeroAfter < c.KeepAlive {
+		return fmt.Errorf("trace: scale-to-zero TTL %v below keep-alive %v", c.ScaleToZeroAfter, c.KeepAlive)
+	}
 	return nil
 }
 
 // FunctionStats aggregates one function's outcomes.
 type FunctionStats struct {
-	Name       string
-	Requests   int
+	Name     string
+	Requests int
+	// ColdStarts counts every scale-up (FullColdStarts + CloneColdStarts).
 	ColdStarts int
-	Restores   int
-	Reaped     int
+	// FullColdStarts ran the complete Fig. 1 pipeline; CloneColdStarts took
+	// the snapshot-clone fast path (Config.CloneScaleOut).
+	FullColdStarts  int
+	CloneColdStarts int
+	// ColdStartCost is the summed virtual cost of all cold starts — the
+	// provider's total scale-up bill for this function.
+	ColdStartCost sim.Duration
+	Restores      int
+	Reaped        int
+	// ScaledToZero counts the times the reaper took the pool to zero
+	// (Config.ScaleToZeroAfter); ImagesEvicted counts how many of those
+	// actually released an exported snapshot image.
+	ScaledToZero  int
+	ImagesEvicted int
 
 	E2E   metrics.Summary // ms, including queueing and cold-start waits
 	Queue metrics.Summary // ms waiting for a container
+	// FullColdLatency and CloneLatency summarize the two cold-start paths'
+	// durations (ms), separating the pipeline's hundreds of milliseconds
+	// from the clone path's sub-millisecond spawns.
+	FullColdLatency metrics.Summary
+	CloneLatency    metrics.Summary
 }
 
 // Result is a fleet run's outcome.
@@ -80,6 +121,10 @@ type Result struct {
 	// PeakFrames is the kernel-wide high-water mark of resident frames — a
 	// direct memory-pressure comparison between isolation modes.
 	PeakFrames int
+	// EndFrames is the kernel-wide frame count after the drain — with
+	// scale-to-zero it shows evicted deployments actually returning their
+	// memory.
+	EndFrames int
 }
 
 // Function returns a function's stats by display name.
@@ -133,6 +178,7 @@ func NewFleet(cfg Config, loads []FunctionLoad) (*Fleet, error) {
 		if err != nil {
 			return nil, err
 		}
+		pl.CloneScaleOut = cfg.CloneScaleOut
 		f.fns = append(f.fns, &fnState{
 			load:     load,
 			platform: pl,
@@ -196,22 +242,7 @@ func (f *Fleet) Run() (*Result, error) {
 		}
 		now := f.engine.Now()
 		for _, fs := range f.fns {
-			// Keep one container as the warm floor; reap the rest when
-			// idle past the TTL.
-			cs := fs.platform.Containers()
-			for _, c := range cs {
-				if len(fs.platform.Containers()) <= 1 {
-					break
-				}
-				idleSince := c.LastDone()
-				if c.Ready() > now || idleSince == 0 {
-					continue // busy or never used
-				}
-				if now.Sub(idleSince) > f.cfg.KeepAlive {
-					fs.platform.RemoveContainer(c)
-					fs.stats.Reaped++
-				}
-			}
+			f.reapIdle(fs, now)
 		}
 		f.engine.After(f.cfg.KeepAlive/2, reap)
 	}
@@ -224,7 +255,7 @@ func (f *Fleet) Run() (*Result, error) {
 		return nil, f.err
 	}
 
-	res := &Result{PeakFrames: f.kern.Phys.Peak()}
+	res := &Result{PeakFrames: f.kern.Phys.Peak(), EndFrames: f.kern.Phys.InUse()}
 	for _, fs := range f.fns {
 		res.PerFunction = append(res.PerFunction, fs.stats)
 	}
@@ -232,6 +263,65 @@ func (f *Fleet) Run() (*Result, error) {
 		return res.PerFunction[i].Name < res.PerFunction[j].Name
 	})
 	return res, nil
+}
+
+// reapIdle applies the two-tier idle policy to one function's pool.
+//
+// Tier one (keep-alive): containers above the warm floor of one are removed
+// once idle past Config.KeepAlive. The pool is re-read after every removal —
+// faas.Platform.RemoveContainer compacts the live slice in place, so ranging
+// over a pre-reap snapshot would visit shifted (and stale duplicate) entries
+// and over-count removals.
+//
+// Tier two (scale-to-zero): with Config.ScaleToZeroAfter set and no queued
+// requests, the warm floor itself is removed after the longer TTL and the
+// deployment's snapshot image is evicted, returning its materialized frames
+// to the kernel.
+//
+// In both tiers a container that never served measures idleness from
+// Ready() — the time it became able to serve. An orphaned scale-up (its
+// queued request drained elsewhere during the cold start) would otherwise
+// pin the pool above the floor forever and block scale-to-zero.
+func (f *Fleet) reapIdle(fs *fnState, now sim.Time) {
+	for len(fs.platform.Containers()) > 1 {
+		removed := false
+		for _, c := range fs.platform.Containers() {
+			if c.Ready() > now {
+				continue // busy (or still cold-starting)
+			}
+			idleSince := c.LastDone()
+			if idleSince == 0 {
+				idleSince = c.Ready() // never served: idle since serveable
+			}
+			if now.Sub(idleSince) > f.cfg.KeepAlive {
+				fs.platform.RemoveContainer(c)
+				fs.stats.Reaped++
+				removed = true
+				break // re-read the pool; the slice just changed under us
+			}
+		}
+		if !removed {
+			return
+		}
+	}
+
+	if f.cfg.ScaleToZeroAfter <= 0 || len(fs.queue) > 0 {
+		return
+	}
+	cs := fs.platform.Containers()
+	if len(cs) != 1 {
+		return
+	}
+	c := cs[0]
+	if c.Ready() > now || now.Sub(c.Ready()) <= f.cfg.ScaleToZeroAfter {
+		return
+	}
+	fs.platform.RemoveContainer(c)
+	fs.stats.Reaped++
+	fs.stats.ScaledToZero++
+	if fs.platform.EvictImage() {
+		fs.stats.ImagesEvicted++
+	}
 }
 
 // dispatch hands queued requests to available containers, scaling the pool
@@ -253,7 +343,16 @@ func (f *Fleet) dispatch(fs *fnState) {
 					f.engine.Stop()
 					return
 				}
+				cold := nc.ColdStart()
 				fs.stats.ColdStarts++
+				fs.stats.ColdStartCost += cold.Total
+				if cold.ClonedFrom >= 0 {
+					fs.stats.CloneColdStarts++
+					fs.stats.CloneLatency.AddDuration(cold.Total)
+				} else {
+					fs.stats.FullColdStarts++
+					fs.stats.FullColdLatency.AddDuration(cold.Total)
+				}
 				f.engine.At(nc.Ready(), func() { f.dispatch(fs) })
 			} else if next := f.earliestReady(fs); next > now {
 				f.engine.At(next, func() { f.dispatch(fs) })
