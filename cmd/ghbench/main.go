@@ -29,7 +29,7 @@ var experimentNames = []string{
 	"table1", "table2", "table3", "headline",
 	"ablation-uffd", "ablation-coalesce", "ablation-trust", "ablation-statestore",
 	"ablation-timevirt", "loadsweep", "related-work", "fleet", "bench-restore",
-	"bench-coldstart", "bench-fleet",
+	"bench-coldstart", "bench-fleet", "bench-policy",
 }
 
 func main() {
@@ -46,6 +46,8 @@ func main() {
 		"output path for the bench-coldstart JSON summary (empty disables)")
 	flag.StringVar(&fleetJSONPath, "fleet-json", "BENCH_fleet.json",
 		"output path for the bench-fleet JSON summary (empty disables)")
+	flag.StringVar(&policyJSONPath, "policy-json", "BENCH_policy.json",
+		"output path for the bench-policy JSON summary (empty disables)")
 	flag.Parse()
 
 	if *list {
@@ -174,6 +176,8 @@ func run(cfg experiments.Config, names []string, quick bool) error {
 			tb, err = benchColdStart(cfg)
 		case "bench-fleet":
 			tb, err = benchFleet(cfg, quick)
+		case "bench-policy":
+			tb, err = benchPolicy(cfg, quick)
 		default:
 			return fmt.Errorf("unknown experiment %q (try -list)", name)
 		}
@@ -182,6 +186,24 @@ func run(cfg experiments.Config, names []string, quick bool) error {
 		}
 		fmt.Println(tb.Render())
 	}
+	return nil
+}
+
+// writeBenchJSON marshals a benchmark summary to path (empty disables),
+// logging the write; every bench-* experiment shares it so the artifact
+// format cannot diverge.
+func writeBenchJSON(path string, v any) error {
+	if path == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ghbench: wrote %s\n", path)
 	return nil
 }
 
@@ -201,15 +223,8 @@ func benchRestore(cfg experiments.Config, quick bool) (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if restoreJSONPath != "" {
-		blob, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return nil, err
-		}
-		if err := os.WriteFile(restoreJSONPath, append(blob, '\n'), 0o644); err != nil {
-			return nil, err
-		}
-		fmt.Fprintf(os.Stderr, "ghbench: wrote %s\n", restoreJSONPath)
+	if err := writeBenchJSON(restoreJSONPath, res); err != nil {
+		return nil, err
 	}
 	return experiments.RestoreBenchTable(res...), nil
 }
@@ -228,15 +243,8 @@ func benchColdStart(cfg experiments.Config) (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if coldstartJSONPath != "" {
-		blob, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return nil, err
-		}
-		if err := os.WriteFile(coldstartJSONPath, append(blob, '\n'), 0o644); err != nil {
-			return nil, err
-		}
-		fmt.Fprintf(os.Stderr, "ghbench: wrote %s\n", coldstartJSONPath)
+	if err := writeBenchJSON(coldstartJSONPath, res); err != nil {
+		return nil, err
 	}
 	return tb, nil
 }
@@ -254,15 +262,27 @@ func benchFleet(cfg experiments.Config, quick bool) (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if fleetJSONPath != "" {
-		blob, err := json.MarshalIndent([]experiments.FleetBenchResult{res}, "", "  ")
-		if err != nil {
-			return nil, err
-		}
-		if err := os.WriteFile(fleetJSONPath, append(blob, '\n'), 0o644); err != nil {
-			return nil, err
-		}
-		fmt.Fprintf(os.Stderr, "ghbench: wrote %s\n", fleetJSONPath)
+	if err := writeBenchJSON(fleetJSONPath, []experiments.FleetBenchResult{res}); err != nil {
+		return nil, err
 	}
 	return experiments.FleetBenchTable(res), nil
+}
+
+// policyJSONPath is where benchPolicy writes its summary.
+var policyJSONPath string
+
+// benchPolicy runs the scheduling-policy benchmark — the same bursty
+// multi-function workload dispatched once per policy (fixed-ttl, slo-aware,
+// cost-min) on a clone-enabled fleet — and writes BENCH_policy.json so CI
+// can gate on the cost/latency frontier: SLO misses and mean-frame drift
+// both fail the gate.
+func benchPolicy(cfg experiments.Config, quick bool) (*metrics.Table, error) {
+	res, err := experiments.PolicyBench(cfg, quick)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeBenchJSON(policyJSONPath, []experiments.PolicyBenchResult{res}); err != nil {
+		return nil, err
+	}
+	return experiments.PolicyBenchTable(res), nil
 }

@@ -11,12 +11,12 @@ import (
 	"groundhog/internal/trace"
 )
 
-// FleetBenchVariant is one fleet policy's outcome under the shared bursty
-// arrival trace, as emitted into BENCH_fleet.json. Fields named *_virtual_*
-// and peak_frames_in_use are deterministic simulation outputs gated by
-// cmd/benchdiff; the counters are informational context.
-type FleetBenchVariant struct {
-	Variant            string  `json:"variant"`
+// FleetVariantStats is the per-variant accumulation shared by the fleet
+// and policy benchmarks: request/cold-start/reap counters, the summed
+// cold-start bill, pooled latency percentiles, and the frame figures. The
+// *_virtual_* and frame fields are deterministic simulation outputs gated
+// by cmd/benchdiff; the counters are informational context.
+type FleetVariantStats struct {
 	Requests           int     `json:"requests"`
 	FullColdStarts     int     `json:"full_cold_starts"`
 	CloneColdStarts    int     `json:"clone_cold_starts"`
@@ -29,6 +29,44 @@ type FleetBenchVariant struct {
 	Reaped             int     `json:"reaped"`
 	ScaledToZero       int     `json:"scaled_to_zero"`
 	ImagesEvicted      int     `json:"images_evicted"`
+}
+
+// summarizeVariantStats folds per-function stats into the shared variant
+// summary. The latency percentiles are computed over the pooled
+// per-request samples of every function, matching how a provider would
+// report fleet SLOs.
+func summarizeVariantStats(out *trace.Result) FleetVariantStats {
+	v := FleetVariantStats{
+		PeakFramesInUse: out.PeakFrames,
+		EndFrames:       out.EndFrames,
+	}
+	var e2e, queue metrics.Summary
+	for _, fs := range out.PerFunction {
+		v.Requests += fs.Requests
+		v.FullColdStarts += fs.FullColdStarts
+		v.CloneColdStarts += fs.CloneColdStarts
+		v.ColdStartVirtualUs += float64(fs.ColdStartCost) / float64(time.Microsecond)
+		v.Reaped += fs.Reaped
+		v.ScaledToZero += fs.ScaledToZero
+		v.ImagesEvicted += fs.ImagesEvicted
+		for _, s := range fs.E2E.Samples() {
+			e2e.Add(s)
+		}
+		for _, s := range fs.Queue.Samples() {
+			queue.Add(s)
+		}
+	}
+	v.E2EP50VirtualMs = e2e.Percentile(50)
+	v.E2EP95VirtualMs = e2e.Percentile(95)
+	v.QueueP95VirtualMs = queue.Percentile(95)
+	return v
+}
+
+// FleetBenchVariant is one fleet scale-out mode's outcome under the shared
+// bursty arrival trace, as emitted into BENCH_fleet.json.
+type FleetBenchVariant struct {
+	Variant string `json:"variant"`
+	FleetVariantStats
 }
 
 // FleetBenchResult compares the two scale-out policies under identical
@@ -57,8 +95,8 @@ func fleetBenchConfig(cfg Config, window sim.Duration) trace.Config {
 		Mode:                     isolation.ModeGH,
 		Seed:                     cfg.Seed,
 		MaxContainersPerFunction: 4,
-		KeepAlive:                600 * time.Millisecond,
-		ScaleToZeroAfter:         1800 * time.Millisecond,
+		KeepAlive:                trace.DefaultKeepAlive,
+		ScaleToZeroAfter:         trace.DefaultScaleToZeroAfter,
 		Window:                   window,
 	}
 }
@@ -118,35 +156,10 @@ func FleetBench(cfg Config, quick bool) (FleetBenchResult, error) {
 	return res, nil
 }
 
-// summarizeFleet folds per-function stats into one variant summary. The
-// latency percentiles are computed over the pooled per-request samples of
-// every function, matching how a provider would report fleet SLOs.
+// summarizeFleet folds per-function stats into one scale-out variant
+// summary.
 func summarizeFleet(variant string, out *trace.Result) FleetBenchVariant {
-	v := FleetBenchVariant{
-		Variant:         variant,
-		PeakFramesInUse: out.PeakFrames,
-		EndFrames:       out.EndFrames,
-	}
-	var e2e, queue metrics.Summary
-	for _, fs := range out.PerFunction {
-		v.Requests += fs.Requests
-		v.FullColdStarts += fs.FullColdStarts
-		v.CloneColdStarts += fs.CloneColdStarts
-		v.ColdStartVirtualUs += float64(fs.ColdStartCost) / float64(time.Microsecond)
-		v.Reaped += fs.Reaped
-		v.ScaledToZero += fs.ScaledToZero
-		v.ImagesEvicted += fs.ImagesEvicted
-		for _, s := range fs.E2E.Samples() {
-			e2e.Add(s)
-		}
-		for _, s := range fs.Queue.Samples() {
-			queue.Add(s)
-		}
-	}
-	v.E2EP50VirtualMs = e2e.Percentile(50)
-	v.E2EP95VirtualMs = e2e.Percentile(95)
-	v.QueueP95VirtualMs = queue.Percentile(95)
-	return v
+	return FleetBenchVariant{Variant: variant, FleetVariantStats: summarizeVariantStats(out)}
 }
 
 // FleetBenchTable renders the comparison for the console.

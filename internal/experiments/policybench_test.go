@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPolicyBenchSLOAwareBeatsFixedTTL pins the policy acceptance
+// criterion: under identical bursty arrivals on a clone-enabled fleet,
+// SLOAware meets the configured p95 target with a strictly lower mean frame
+// count than FixedTTL — the warm-pool memory it releases between bursts is
+// the benchmark's whole point.
+func TestPolicyBenchSLOAwareBeatsFixedTTL(t *testing.T) {
+	res, err := PolicyBench(quick(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != 3 {
+		t.Fatalf("policies = %d, want 3", len(res.Policies))
+	}
+	fixed, slo, cost := res.variant("fixed-ttl"), res.variant("slo-aware"), res.variant("cost-min")
+	if fixed == nil || slo == nil || cost == nil {
+		t.Fatalf("missing policy variants: %+v", res.Policies)
+	}
+	if fixed.Requests == 0 {
+		t.Fatal("fixed-ttl fleet served no requests")
+	}
+	for _, v := range res.Policies {
+		if v.Requests != fixed.Requests {
+			t.Fatalf("request counts diverge: fixed %d, %s %d (arrivals must be dispatch-independent)",
+				fixed.Requests, v.Policy, v.Requests)
+		}
+	}
+	if !slo.SLOMet {
+		t.Fatalf("slo-aware misses the %v ms target (worst-function p95 %.1f ms)",
+			res.SLOTargetMs, slo.WorstFnP95VirtualMs)
+	}
+	if slo.MeanFramesInUse >= fixed.MeanFramesInUse {
+		t.Fatalf("slo-aware mean frames %.0f not strictly below fixed-ttl %.0f",
+			slo.MeanFramesInUse, fixed.MeanFramesInUse)
+	}
+	if slo.ScaledToZero == 0 {
+		t.Fatal("slo-aware never scaled to zero; the savings have no mechanism")
+	}
+	if slo.FullColdStarts != 0 {
+		t.Fatalf("slo-aware paid %d full pipelines; revivals must stay clones", slo.FullColdStarts)
+	}
+	if cost.Reaped == 0 {
+		t.Fatal("cost-min never reaped; the rent model is inert")
+	}
+	if res.FrameSavingsX <= 1 {
+		t.Fatalf("frame savings %.2fx, want > 1x", res.FrameSavingsX)
+	}
+}
+
+func TestPolicyBenchTableRenders(t *testing.T) {
+	res, err := PolicyBench(quick(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := PolicyBenchTable(res).Render()
+	for _, want := range []string{"fixed-ttl", "slo-aware", "cost-min", "mean frames", "SLO met"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

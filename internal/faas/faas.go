@@ -166,6 +166,7 @@ type Platform struct {
 	containers      []*Container
 	rng             *sim.Rand
 	nextContainerID int
+	coldSummary     ColdStartSummary
 
 	// template is the deployment's clone source, captured lazily on the
 	// first clone request (never when CloneScaleOut is off, so disabled
@@ -213,16 +214,28 @@ func NewPlatformOn(eng *sim.Engine, kern *kernel.Kernel, prof runtimes.Profile, 
 		rng:    sim.NewRand(seed),
 	}
 	for i := 0; i < containers; i++ {
-		c, err := pl.AddContainer()
-		if err != nil {
-			return nil, err
-		}
 		// Constructor containers are pre-warmed: the paper's experiments
 		// deliberately prevent cold starts (§5.1). Containers added later
 		// (fleet scaling) do pay their initialization delay.
-		c.ready = pl.Engine.Now()
+		if _, err := pl.AddWarmContainer(); err != nil {
+			return nil, err
+		}
 	}
 	return pl, nil
+}
+
+// AddWarmContainer cold-starts one more container with constructor
+// semantics: it is ready immediately, as if pre-warmed before the
+// simulation's window opened. Fleets that must configure the platform
+// (Store, CloneScaleOut) before the first container exists deploy with zero
+// constructor containers and call this for the warm floor.
+func (pl *Platform) AddWarmContainer() (*Container, error) {
+	c, err := pl.AddContainer()
+	if err != nil {
+		return nil, err
+	}
+	c.ready = pl.Engine.Now()
+	return c, nil
 }
 
 // AddContainer cold-starts one more container for this platform at the
@@ -234,6 +247,7 @@ func (pl *Platform) AddContainer() (*Container, error) {
 	if err != nil {
 		return nil, err
 	}
+	pl.recordColdStart(c.cold)
 	c.ready = pl.Engine.Now().Add(c.cold.Total)
 	pl.containers = append(pl.containers, c)
 	return c, nil
@@ -388,22 +402,7 @@ func (pl *Platform) cloneSource() *cloneTemplate {
 	if pl.template != nil {
 		return pl.template
 	}
-	var donor *Container
-	for _, c := range pl.containers {
-		if c.tainted {
-			continue
-		}
-		if _, ok := c.strat.(isolation.Cloneable); !ok {
-			continue
-		}
-		if c.requests == 0 {
-			donor = c
-			break
-		}
-		if donor == nil && c.strat.Mode() != isolation.ModeGHNop {
-			donor = c
-		}
-	}
+	donor := pl.findDonor()
 	if donor == nil {
 		return nil
 	}
@@ -413,6 +412,54 @@ func (pl *Platform) cloneSource() *cloneTemplate {
 		state:   donor.inst.CaptureState(),
 	}
 	return pl.template
+}
+
+// findDonor scans the pool for a clone-eligible donor (see cloneSource for
+// the eligibility rules) without capturing anything.
+func (pl *Platform) findDonor() *Container {
+	var donor *Container
+	for _, c := range pl.containers {
+		if c.tainted {
+			continue
+		}
+		if _, ok := c.strat.(isolation.Cloneable); !ok {
+			continue
+		}
+		if c.requests == 0 {
+			return c
+		}
+		if donor == nil && c.strat.Mode() != isolation.ModeGHNop {
+			donor = c
+		}
+	}
+	return donor
+}
+
+// CloneSourceReady reports whether a scale-up right now would take the
+// snapshot-clone fast path: clone scale-out is enabled and either the
+// template is already captured (its image outlives every container) or an
+// eligible donor sits in the pool. Read-only — unlike cloneSource it
+// captures nothing. Scheduling policies read it to decide whether scaling
+// to zero is cheap to undo.
+func (pl *Platform) CloneSourceReady() bool {
+	if !pl.CloneScaleOut {
+		return false
+	}
+	return pl.template != nil || pl.findDonor() != nil
+}
+
+// EnsureCloneTemplate captures the deployment's clone template now, if
+// clone scale-out is enabled and a donor is available, and reports whether
+// a template exists after the call. Scale-to-zero policies that keep the
+// snapshot image call this before removing the last container: the
+// template (and the snapshot it will be exported from) survives the
+// donor's removal, so the next scale-up clones instead of replaying the
+// Fig. 1 pipeline.
+func (pl *Platform) EnsureCloneTemplate() bool {
+	if !pl.CloneScaleOut {
+		return false
+	}
+	return pl.cloneSource() != nil
 }
 
 // cloneStart is the snapshot-clone cold start: spawn the container's process
@@ -455,6 +502,39 @@ func (pl *Platform) cloneStart(id int, seed uint64, tmpl *cloneTemplate) (*Conta
 		ready: pl.Engine.Now(),
 	}
 	return c, nil
+}
+
+// ColdStartSummary is the deployment's cumulative scale-up bill: how many
+// containers ran the full Fig. 1 pipeline vs. the snapshot-clone fast path
+// (pre-warmed constructor containers count as full — they did run the
+// pipeline), and the summed virtual cost per path. Scheduling policies and
+// the server's /deployments endpoint read it; unlike per-container
+// ColdStartStats it survives container removal.
+type ColdStartSummary struct {
+	// Full and Clone count the cold starts per path.
+	Full  int
+	Clone int
+	// FullCost and CloneCost split the summed virtual duration by path;
+	// TotalCost is their sum.
+	FullCost  sim.Duration
+	CloneCost sim.Duration
+	TotalCost sim.Duration
+}
+
+// ColdStarts reports the deployment's cumulative cold-start summary.
+func (pl *Platform) ColdStarts() ColdStartSummary { return pl.coldSummary }
+
+// recordColdStart folds one container's initialization into the
+// deployment's cumulative summary.
+func (pl *Platform) recordColdStart(cold ColdStartStats) {
+	if cold.ClonedFrom >= 0 {
+		pl.coldSummary.Clone++
+		pl.coldSummary.CloneCost += cold.Total
+	} else {
+		pl.coldSummary.Full++
+		pl.coldSummary.FullCost += cold.Total
+	}
+	pl.coldSummary.TotalCost += cold.Total
 }
 
 // MemoryStats is the deployment's fleet-wide memory accounting, the figures

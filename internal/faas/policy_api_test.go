@@ -1,0 +1,119 @@
+package faas
+
+import (
+	"testing"
+
+	"groundhog/internal/isolation"
+	"groundhog/internal/kernel"
+	"groundhog/internal/sim"
+)
+
+// TestAddWarmContainerIsReadyNow: the explicit warm-floor path matches
+// constructor semantics — ready immediately, pipeline cost still recorded.
+func TestAddWarmContainerIsReadyNow(t *testing.T) {
+	pl, err := NewPlatformOn(sim.NewEngine(), kernel.New(kernel.Default()), testProfile(), isolation.ModeGH, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pl.AddWarmContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ready() != pl.Engine.Now() {
+		t.Fatalf("warm container ready at %v, want now (%v)", c.Ready(), pl.Engine.Now())
+	}
+	if c.ColdStart().Total <= 0 {
+		t.Fatal("warm container recorded no pipeline cost")
+	}
+}
+
+// TestColdStartSummarySplitsPaths: the cumulative summary splits full vs.
+// clone scale-ups, sums their costs, and survives container removal.
+func TestColdStartSummarySplitsPaths(t *testing.T) {
+	pl := clonePlatform(t, isolation.ModeGH)
+	clone, err := pl.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := pl.ColdStarts()
+	if cs.Full != 1 || cs.Clone != 1 {
+		t.Fatalf("split %d/%d, want 1 full + 1 clone", cs.Full, cs.Clone)
+	}
+	if cs.TotalCost != cs.FullCost+cs.CloneCost {
+		t.Fatalf("cost split %v+%v != total %v", cs.FullCost, cs.CloneCost, cs.TotalCost)
+	}
+	if cs.CloneCost <= 0 || cs.CloneCost >= cs.FullCost {
+		t.Fatalf("clone cost %v not below full cost %v", cs.CloneCost, cs.FullCost)
+	}
+	pl.RemoveContainer(clone)
+	if got := pl.ColdStarts(); got != cs {
+		t.Fatalf("summary changed on removal: %+v -> %+v", cs, got)
+	}
+}
+
+// TestCloneSourceReadyIsReadOnly: the readiness probe never captures the
+// template, and goes false when cloning is off or the pool holds no donor.
+func TestCloneSourceReadyIsReadOnly(t *testing.T) {
+	pl := newPlatform(t, isolation.ModeGH, 1)
+	if pl.CloneSourceReady() {
+		t.Fatal("ready with clone scale-out disabled")
+	}
+	pl.CloneScaleOut = true
+	if !pl.CloneSourceReady() {
+		t.Fatal("not ready despite a pristine donor in the pool")
+	}
+	if pl.template != nil {
+		t.Fatal("readiness probe captured the template")
+	}
+	pl.RemoveContainer(pl.Containers()[0])
+	if pl.CloneSourceReady() {
+		t.Fatal("ready with no donor and no template")
+	}
+}
+
+// TestEnsureCloneTemplateSurvivesScaleToZero is the faas-level half of the
+// image-retention policy: capturing the template before removing the last
+// container keeps the revival path a clone.
+func TestEnsureCloneTemplateSurvivesScaleToZero(t *testing.T) {
+	pl := clonePlatform(t, isolation.ModeGH)
+	if !pl.EnsureCloneTemplate() {
+		t.Fatal("no template captured despite an eligible donor")
+	}
+	pl.RemoveContainer(pl.Containers()[0])
+	if len(pl.Containers()) != 0 {
+		t.Fatal("pool not empty")
+	}
+	if !pl.CloneSourceReady() {
+		t.Fatal("template did not survive the donor's removal")
+	}
+	c, err := pl.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ColdStart().ClonedFrom < 0 {
+		t.Fatal("revival from zero replayed the pipeline")
+	}
+	// Without the capture, the same sequence must fall back to the full
+	// pipeline.
+	pl2 := clonePlatform(t, isolation.ModeGH)
+	pl2.RemoveContainer(pl2.Containers()[0])
+	c2, err := pl2.AddContainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.ColdStart().ClonedFrom >= 0 {
+		t.Fatal("clone with no donor and no template")
+	}
+}
+
+// TestEnsureCloneTemplateDisabled: a no-op on platforms without clone
+// scale-out — they must retain no donor state.
+func TestEnsureCloneTemplateDisabled(t *testing.T) {
+	pl := newPlatform(t, isolation.ModeGH, 1)
+	if pl.EnsureCloneTemplate() {
+		t.Fatal("captured a template with clone scale-out disabled")
+	}
+	if pl.template != nil {
+		t.Fatal("disabled platform retained donor state")
+	}
+}

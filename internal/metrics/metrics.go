@@ -19,6 +19,25 @@ type Summary struct {
 	sorted  bool
 }
 
+// PushBounded appends v to a drop-oldest sliding window: once the ring
+// holds window elements, the oldest is shifted out first. The fleet's
+// policy signals and the server's per-deployment latency summary share
+// this idiom so their windowed semantics cannot diverge.
+func PushBounded[T any](ring []T, v T, window int) []T {
+	if window > 0 && len(ring) >= window {
+		copy(ring, ring[1:])
+		ring = ring[:len(ring)-1]
+	}
+	return append(ring, v)
+}
+
+// NewSummary returns a summary over the given samples. The slice is owned
+// by the summary afterwards (Percentile may sort it in place); pass a copy
+// to keep the original untouched.
+func NewSummary(samples []float64) *Summary {
+	return &Summary{samples: samples}
+}
+
 // Add appends one sample.
 func (s *Summary) Add(v float64) {
 	s.samples = append(s.samples, v)

@@ -47,6 +47,69 @@ func TestPercentileInterpolation(t *testing.T) {
 	}
 }
 
+// TestPercentileTable pins p50/p95/p99 on known sample sets — the SLO
+// comparisons in the scheduling policies read these exact figures, so the
+// closest-ranks interpolation must stay put. Rank = p/100 * (n-1); the
+// value interpolates linearly between the two bracketing order statistics.
+func TestPercentileTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		p       float64
+		want    float64
+	}{
+		// n=1: every percentile is the sample.
+		{"n1-p50", []float64{7}, 50, 7},
+		{"n1-p95", []float64{7}, 95, 7},
+		{"n1-p99", []float64{7}, 99, 7},
+		// n=2: p50 lands mid-gap, the tails interpolate toward the max.
+		{"n2-p50", []float64{10, 20}, 50, 15},
+		{"n2-p95", []float64{10, 20}, 95, 19.5},
+		{"n2-p99", []float64{10, 20}, 99, 19.9},
+		// 0..100 step 1 (n=101): rank == percentile exactly.
+		{"n101-p50", ramp(101), 50, 50},
+		{"n101-p95", ramp(101), 95, 95},
+		{"n101-p99", ramp(101), 99, 99},
+		// Duplicate-heavy: nine 1s and one 100 (inserted unsorted). p50
+		// sits inside the duplicate run; p95 rank 8.55 interpolates
+		// 1*(1-0.55)+100*0.55; p99 rank 8.91 likewise.
+		{"dup-p50", []float64{100, 1, 1, 1, 1, 1, 1, 1, 1, 1}, 50, 1},
+		{"dup-p95", []float64{100, 1, 1, 1, 1, 1, 1, 1, 1, 1}, 95, 55.45},
+		{"dup-p99", []float64{100, 1, 1, 1, 1, 1, 1, 1, 1, 1}, 99, 91.09},
+		// All-equal: interpolation between equal neighbors is exact.
+		{"const-p50", []float64{5, 5, 5}, 50, 5},
+		{"const-p99", []float64{5, 5, 5}, 99, 5},
+		// Four samples: p95 rank 2.85 between 30 and 40.
+		{"n4-p95", []float64{40, 10, 30, 20}, 95, 38.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Summary
+			for _, v := range tc.samples {
+				s.Add(v)
+			}
+			got := s.Percentile(tc.p)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("p%v of %v = %v, want %v", tc.p, tc.samples, got, tc.want)
+			}
+			// Percentile reads must be stable: asking again (post-sort)
+			// returns the identical value.
+			if again := s.Percentile(tc.p); again != got {
+				t.Fatalf("repeated read moved: %v -> %v", got, again)
+			}
+		})
+	}
+}
+
+// ramp returns 0..n-1 in reverse order (exercising the lazy sort).
+func ramp(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(n - 1 - i)
+	}
+	return out
+}
+
 func TestPercentileMonotoneProperty(t *testing.T) {
 	f := func(vals []float64, a, b uint8) bool {
 		var s Summary

@@ -22,12 +22,15 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"time"
 
 	"groundhog/internal/catalog"
 	"groundhog/internal/faas"
 	"groundhog/internal/isolation"
 	"groundhog/internal/kernel"
+	"groundhog/internal/metrics"
 	"groundhog/internal/runtimes"
+	"groundhog/internal/trace"
 )
 
 // Server multiplexes HTTP requests onto simulated platforms. Each platform
@@ -58,7 +61,18 @@ type deployment struct {
 	mu       sync.Mutex
 	platform *faas.Platform
 	invoked  int
+	restored int
+	// e2e is a drop-oldest ring of recent per-request end-to-end latency
+	// samples (ms) — the windowed latency summary /deployments reports and
+	// the policy advice reads. Bounded like the fleet's observation rings,
+	// so a long-lived server neither grows without bound nor re-sorts its
+	// whole history per listing.
+	e2e []float64
 }
+
+// e2eWindow bounds the per-deployment latency ring (matching the fleet's
+// latencyWindow semantics: breaches and calm spells both age out).
+const e2eWindow = 128
 
 // New returns a server with the default cost model.
 func New() *Server {
@@ -196,6 +210,10 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dep.invoked++
+	dep.e2e = metrics.PushBounded(dep.e2e, float64(st.E2E)/1e6, e2eWindow)
+	if st.Restored {
+		dep.restored++
+	}
 	resp := InvokeResponse{
 		Function:     fn,
 		Mode:         string(mode),
@@ -261,14 +279,17 @@ func (d *deployment) deploy() error {
 }
 
 // DeploymentInfo is one entry of the /deployments listing. Beyond the
-// request counters it reports the deployment's memory accounting: the
+// request counters it reports the deployment's memory accounting (the
 // managers' state-store bytes, the containers' resident pages, the physical
 // frames actually in use, and how many resident pages ride on frames shared
-// with siblings (the savings of snapshot-clone scale-out).
+// with siblings), the cumulative cold-start split by path, the observed
+// latency summary, and — from the same signals — what each built-in
+// scheduling policy would decide right now.
 type DeploymentInfo struct {
 	Function         string  `json:"function"`
 	Mode             string  `json:"mode"`
 	Invoked          int     `json:"invoked"`
+	Restored         int     `json:"restored"`
 	Containers       int     `json:"containers"`
 	ColdStartMS      float64 `json:"cold_start_ms"`
 	StateStoreBytes  int     `json:"state_store_bytes"`
@@ -276,6 +297,108 @@ type DeploymentInfo struct {
 	FramesInUse      int     `json:"frames_in_use"`
 	SharedFramePages int     `json:"shared_frame_pages"`
 	VirtualTime      string  `json:"virtual_time"`
+
+	// Cold-start split: pipeline vs. snapshot-clone scale-ups over the
+	// deployment's lifetime (removed containers included), with the summed
+	// virtual cost — the provider's scale-up bill.
+	FullColdStarts      int     `json:"full_cold_starts"`
+	CloneColdStarts     int     `json:"clone_cold_starts"`
+	ColdStartTotalMS    float64 `json:"cold_start_total_ms"`
+	CloneColdStartReady bool    `json:"clone_cold_start_ready"`
+
+	// Latency summary over the most recent served requests (ms, windowed
+	// like the fleet's observation rings).
+	E2EMeanMS float64 `json:"e2e_mean_ms"`
+	E2EP50MS  float64 `json:"e2e_p50_ms"`
+	E2EP95MS  float64 `json:"e2e_p95_ms"`
+
+	// Policies reports each built-in scheduling policy's decisions against
+	// the deployment's current signals (idle time taken from its idlest
+	// container).
+	Policies []trace.Advice `json:"policies"`
+}
+
+// describe renders one deployment's listing entry. Caller holds dep.mu.
+func (dep *deployment) describe() DeploymentInfo {
+	info := DeploymentInfo{
+		Function: dep.fn,
+		Mode:     string(dep.mode),
+		Invoked:  dep.invoked,
+		Restored: dep.restored,
+	}
+	if dep.platform == nil {
+		return info
+	}
+	pl := dep.platform
+	now := pl.Engine.Now()
+	// Zero containers (keep-alive expiry) reports a zero cold start
+	// instead of panicking the handler.
+	cs := pl.Containers()
+	if len(cs) > 0 {
+		info.ColdStartMS = float64(cs[0].ColdStart().Total) / 1e6
+	}
+	info.Containers = len(cs)
+	mem := pl.Memory()
+	info.StateStoreBytes = mem.StateStoreBytes
+	info.ResidentPages = mem.ResidentPages
+	info.FramesInUse = mem.FramesInUse
+	info.SharedFramePages = mem.SharedFramePages
+	info.VirtualTime = now.String()
+
+	cold := pl.ColdStarts()
+	info.FullColdStarts = cold.Full
+	info.CloneColdStarts = cold.Clone
+	info.ColdStartTotalMS = float64(cold.TotalCost) / 1e6
+	info.CloneColdStartReady = pl.CloneSourceReady()
+
+	if len(dep.e2e) > 0 {
+		e2e := metrics.NewSummary(append([]float64(nil), dep.e2e...))
+		info.E2EMeanMS = e2e.Mean()
+		info.E2EP50MS = e2e.Percentile(50)
+		info.E2EP95MS = e2e.Percentile(95)
+	}
+
+	// The policies read a signal set assembled from the platform's
+	// cumulative view. It approximates (but is not identical to) what a
+	// fleet dispatcher would see: the rate proxy is served invocations
+	// over virtual uptime, the cold-start means include the deploy-time
+	// pipeline, the latency summary is recent-window E2E (service time
+	// unavailable separately), and no SLO target is configured — so the
+	// advice shows each policy's leanings, not a bit-exact fleet decision.
+	sig := trace.Signals{
+		Now:        now,
+		PoolSize:   len(cs),
+		Requests:   dep.invoked,
+		CloneReady: info.CloneColdStartReady,
+		MeanE2EMs:  info.E2EMeanMS,
+		P95E2EMs:   info.E2EP95MS,
+		Memory:     mem,
+	}
+	if now > 0 {
+		sig.ArrivalRatePerSec = float64(dep.invoked) / (float64(now) / 1e9)
+	}
+	if cold.Full > 0 {
+		sig.MeanFullColdMs = float64(cold.FullCost) / 1e6 / float64(cold.Full)
+	}
+	if cold.Clone > 0 {
+		sig.MeanCloneColdMs = float64(cold.CloneCost) / 1e6 / float64(cold.Clone)
+	}
+	var idle time.Duration
+	for _, c := range cs {
+		since := c.LastDone()
+		if since == 0 {
+			since = c.Ready()
+		}
+		if d := now.Sub(since); d > idle {
+			idle = d
+		}
+	}
+	// The advice runs the same policy list (and FixedTTL operating point)
+	// the policy benchmark races. Those TTLs are virtual-clock scale, as a
+	// deployment's clock only advances by served virtual time —
+	// wall-scale keep-alives would render the advice constant false.
+	info.Policies = trace.Advise(sig, idle, trace.DefaultPolicies()...)
+	return info
 }
 
 func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
@@ -289,28 +412,8 @@ func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
 	out := []DeploymentInfo{}
 	for _, dep := range deps {
 		dep.mu.Lock()
-		info := DeploymentInfo{
-			Function: dep.fn,
-			Mode:     string(dep.mode),
-			Invoked:  dep.invoked,
-		}
-		if dep.platform != nil {
-			// Zero containers (keep-alive expiry) reports a zero cold
-			// start instead of panicking the handler.
-			cs := dep.platform.Containers()
-			if len(cs) > 0 {
-				info.ColdStartMS = float64(cs[0].ColdStart().Total) / 1e6
-			}
-			info.Containers = len(cs)
-			mem := dep.platform.Memory()
-			info.StateStoreBytes = mem.StateStoreBytes
-			info.ResidentPages = mem.ResidentPages
-			info.FramesInUse = mem.FramesInUse
-			info.SharedFramePages = mem.SharedFramePages
-			info.VirtualTime = dep.platform.Engine.Now().String()
-		}
+		out = append(out, dep.describe())
 		dep.mu.Unlock()
-		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

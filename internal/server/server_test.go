@@ -153,6 +153,54 @@ func TestDeploymentsListing(t *testing.T) {
 	}
 }
 
+// TestDeploymentsPerFunctionBreakdown: /deployments surfaces the cold-start
+// split, the latency summary, and each built-in policy's decisions — the
+// per-function view the fleet policies read.
+func TestDeploymentsPerFunctionBreakdown(t *testing.T) {
+	_, ts := testServer(t)
+	u := ts.URL + "/invoke?fn=" + url.QueryEscape("get-time (p)") + "&mode=gh"
+	for i := 0; i < 3; i++ {
+		post(t, u, nil)
+	}
+	var deps []DeploymentInfo
+	get(t, ts.URL+"/deployments", &deps)
+	if len(deps) != 1 {
+		t.Fatalf("deployments = %d, want 1", len(deps))
+	}
+	d := deps[0]
+	if d.FullColdStarts != 1 || d.CloneColdStarts != 0 {
+		t.Fatalf("cold-start split %d/%d, want 1/0 (the deploy pipeline)",
+			d.FullColdStarts, d.CloneColdStarts)
+	}
+	if d.ColdStartTotalMS <= 0 {
+		t.Fatalf("no cold-start bill: %+v", d)
+	}
+	if d.Restored != 3 {
+		t.Fatalf("restored = %d, want 3 (GH restores per request)", d.Restored)
+	}
+	if d.E2EMeanMS <= 0 || d.E2EP95MS < d.E2EP50MS {
+		t.Fatalf("latency summary degenerate: mean=%v p50=%v p95=%v",
+			d.E2EMeanMS, d.E2EP50MS, d.E2EP95MS)
+	}
+	if len(d.Policies) != 3 {
+		t.Fatalf("policy advice entries = %d, want 3", len(d.Policies))
+	}
+	seen := map[string]bool{}
+	for _, a := range d.Policies {
+		seen[a.Policy] = true
+		// ScaleUp may legitimately be 0 here (nothing queued); the floor
+		// never is.
+		if a.WarmFloor < 1 || a.ScaleUp < 0 {
+			t.Fatalf("degenerate advice: %+v", a)
+		}
+	}
+	for _, want := range []string{"fixed-ttl", "slo-aware", "cost-min"} {
+		if !seen[want] {
+			t.Fatalf("advice missing %q: %+v", want, d.Policies)
+		}
+	}
+}
+
 func TestTrustedCallerOverHTTP(t *testing.T) {
 	s, ts := testServer(t)
 	s.SetTrustSameCaller(true)

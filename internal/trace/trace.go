@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"groundhog/internal/catalog"
+	"groundhog/internal/core"
 	"groundhog/internal/faas"
 	"groundhog/internal/isolation"
 	"groundhog/internal/kernel"
@@ -32,6 +33,10 @@ type FunctionLoad struct {
 	// 1 is Poisson; >1 produces bursts via a hyperexponential mixture
 	// (Azure traces show highly bursty per-function arrivals [39]).
 	Burstiness float64
+	// SLOTargetMs overrides Config.SLOTargetMs for this function (0 uses
+	// the fleet-wide target). SLO-aware policies read it via
+	// Signals.SLOTargetMs.
+	SLOTargetMs float64
 }
 
 // Config parameterizes a fleet run.
@@ -61,8 +66,25 @@ type Config struct {
 	// materialized frames to the kernel. The next request pays a full cold
 	// start (and, under CloneScaleOut, re-exports the image on the next
 	// scale-up). Must be at least KeepAlive; zero keeps the warm floor
-	// forever (the classic keep-alive policy).
+	// forever (the classic keep-alive policy). Only consulted when Policy
+	// is nil.
 	ScaleToZeroAfter sim.Duration
+
+	// Policy is the fleet's scaling policy. Nil selects
+	// FixedTTL{KeepAlive, ScaleToZeroAfter} — bit-compatible with the
+	// classic two-tier reaper, so existing baselines hold. KeepAlive also
+	// sets the policy tick cadence (KeepAlive/2) regardless of Policy.
+	Policy Policy
+
+	// SLOTargetMs is the fleet-wide p95 E2E target in milliseconds that
+	// SLO-aware policies aim for (FunctionLoad.SLOTargetMs overrides it
+	// per function; 0 = no target).
+	SLOTargetMs float64
+
+	// Store selects the StateStore kind (§5.5) for every deployment's
+	// snapshotting strategy; the zero value is the paper's eager copy
+	// store.
+	Store core.StoreKind
 }
 
 // Validate checks the configuration.
@@ -82,6 +104,9 @@ func (c Config) Validate() error {
 	if c.ScaleToZeroAfter > 0 && c.ScaleToZeroAfter < c.KeepAlive {
 		return fmt.Errorf("trace: scale-to-zero TTL %v below keep-alive %v", c.ScaleToZeroAfter, c.KeepAlive)
 	}
+	if c.SLOTargetMs < 0 {
+		return fmt.Errorf("trace: negative SLO target")
+	}
 	return nil
 }
 
@@ -100,9 +125,10 @@ type FunctionStats struct {
 	ColdStartCost sim.Duration
 	Restores      int
 	Reaped        int
-	// ScaledToZero counts the times the reaper took the pool to zero
-	// (Config.ScaleToZeroAfter); ImagesEvicted counts how many of those
-	// actually released an exported snapshot image.
+	// ScaledToZero counts the times the reaper took the pool to zero;
+	// ImagesEvicted counts the exported snapshot images actually released —
+	// at scale-to-zero, or at a later policy tick once a kept image stops
+	// paying for itself.
 	ScaledToZero  int
 	ImagesEvicted int
 
@@ -125,6 +151,11 @@ type Result struct {
 	// scale-to-zero it shows evicted deployments actually returning their
 	// memory.
 	EndFrames int
+	// MeanFrames is the time-weighted mean of in-use frames over the
+	// window, sampled at policy ticks — the fleet's memory bill, and the
+	// figure scale-to-zero policies actually lower (PeakFrames barely
+	// moves when pools collapse only between bursts).
+	MeanFrames float64
 }
 
 // Function returns a function's stats by display name.
@@ -137,6 +168,16 @@ func (r *Result) Function(name string) (*FunctionStats, bool) {
 	return nil, false
 }
 
+// arrivalWindow and latencyWindow bound the policy signals' observation
+// rings: arrival timestamps for the rate estimate, latency samples for the
+// mean/p95 and service-time signals. Windowing keeps the estimators
+// current — a breach (or a calm spell) ages out instead of latching for
+// the rest of the run — and bounds the per-decision sort cost.
+const (
+	arrivalWindow = 64
+	latencyWindow = 128
+)
+
 // fnState is the dispatcher's view of one deployed function.
 type fnState struct {
 	load     FunctionLoad
@@ -144,16 +185,54 @@ type fnState struct {
 	queue    []sim.Time // arrival times of waiting requests
 	stats    *FunctionStats
 	rng      *sim.Rand
+	// arrivalTimes is a drop-oldest ring of recent arrival timestamps; the
+	// policy's rate estimate is its population over its span to now, so a
+	// deployment whose traffic stopped sees its rate decay.
+	arrivalTimes []sim.Time
+	// recentE2E and recentSvc are drop-oldest rings of recent per-request
+	// E2E (queueing included) and invoker service times in milliseconds —
+	// the windowed latency signals.
+	recentE2E []float64
+	recentSvc []float64
+	// sloTargetMs is the resolved per-function target (load override, then
+	// the fleet-wide default).
+	sloTargetMs float64
+}
+
+// observeArrival records one arrival timestamp in the rate ring.
+func (fs *fnState) observeArrival(t sim.Time) {
+	fs.arrivalTimes = metrics.PushBounded(fs.arrivalTimes, t, arrivalWindow)
+}
+
+// observeLatency records one served request's E2E and service time (ms).
+func (fs *fnState) observeLatency(e2eMs, svcMs float64) {
+	fs.recentE2E = metrics.PushBounded(fs.recentE2E, e2eMs, latencyWindow)
+	fs.recentSvc = metrics.PushBounded(fs.recentSvc, svcMs, latencyWindow)
 }
 
 // Fleet runs a multi-function workload and reports per-function and
 // fleet-wide outcomes.
 type Fleet struct {
 	cfg    Config
-	engine *sim.Engine
-	kern   *kernel.Kernel
-	fns    []*fnState
-	err    error
+	policy Policy
+	// signalFree caches whether the policy declared SignalFree: the
+	// observation rings are then never read, so the dispatcher skips
+	// maintaining them on the per-request hot path.
+	signalFree bool
+	engine     *sim.Engine
+	kern       *kernel.Kernel
+	fns        []*fnState
+	err        error
+
+	// frameArea integrates in-use frames over virtual time (sampled at
+	// policy ticks); lastSample is the integration cursor.
+	frameArea  float64
+	lastSample sim.Time
+
+	// reapOverride, when set, replaces the per-function policy step — the
+	// equivalence tests inject the legacy reaper here to pin FixedTTL
+	// bit-compatibility.
+	reapOverride func(fs *fnState, now sim.Time)
 }
 
 // NewFleet deploys the given functions (one warm container each — providers
@@ -167,26 +246,98 @@ func NewFleet(cfg Config, loads []FunctionLoad) (*Fleet, error) {
 	}
 	f := &Fleet{
 		cfg:    cfg,
+		policy: cfg.Policy,
 		engine: sim.NewEngine(),
 		kern:   kernel.New(cfg.Cost),
 	}
+	if f.policy == nil {
+		f.policy = FixedTTL{KeepAlive: cfg.KeepAlive, ScaleToZeroAfter: cfg.ScaleToZeroAfter}
+	}
+	f.setPolicy(f.policy)
 	for i, load := range loads {
 		if load.RatePerSec <= 0 {
 			return nil, fmt.Errorf("trace: %s: non-positive rate", load.Entry.Prof.DisplayName())
 		}
-		pl, err := faas.NewPlatformOn(f.engine, f.kern, load.Entry.Prof, cfg.Mode, 1, cfg.Seed+uint64(i)*7919)
+		if load.SLOTargetMs < 0 {
+			return nil, fmt.Errorf("trace: %s: negative SLO target", load.Entry.Prof.DisplayName())
+		}
+		// Zero constructor containers so the store kind can be set first;
+		// the warm floor is added explicitly (pre-warmed, like the
+		// constructor path).
+		pl, err := faas.NewPlatformOn(f.engine, f.kern, load.Entry.Prof, cfg.Mode, 0, cfg.Seed+uint64(i)*7919)
 		if err != nil {
 			return nil, err
 		}
+		pl.Store = cfg.Store
 		pl.CloneScaleOut = cfg.CloneScaleOut
+		if _, err := pl.AddWarmContainer(); err != nil {
+			return nil, err
+		}
+		target := load.SLOTargetMs
+		if target == 0 {
+			target = cfg.SLOTargetMs
+		}
 		f.fns = append(f.fns, &fnState{
-			load:     load,
-			platform: pl,
-			stats:    &FunctionStats{Name: load.Entry.Prof.DisplayName()},
-			rng:      sim.NewRand(cfg.Seed ^ uint64(i)*0x9E3779B97F4A7C15),
+			load:        load,
+			platform:    pl,
+			stats:       &FunctionStats{Name: load.Entry.Prof.DisplayName()},
+			rng:         sim.NewRand(cfg.Seed ^ uint64(i)*0x9E3779B97F4A7C15),
+			sloTargetMs: target,
 		})
 	}
 	return f, nil
+}
+
+// setPolicy installs the fleet's policy, refreshing the cached
+// signal-free flag the dispatcher's ring maintenance keys off.
+func (f *Fleet) setPolicy(p Policy) {
+	f.policy = p
+	_, f.signalFree = p.(SignalFree)
+}
+
+// signals assembles the policy's observation set for one function at the
+// current virtual time. Percentiles are computed on copies — reading a
+// signal must never disturb the stats the fleet is still accumulating. For
+// SignalFree policies the expensive observations (the Memory page walk,
+// the p95 copy-and-sort) are skipped: the decisions ignore them anyway.
+func (f *Fleet) signals(fs *fnState, now sim.Time) Signals {
+	sig := Signals{
+		Now:         now,
+		QueueDepth:  len(fs.queue),
+		PoolSize:    len(fs.platform.Containers()),
+		Requests:    fs.stats.Requests,
+		SLOTargetMs: fs.sloTargetMs,
+	}
+	for _, c := range fs.platform.Containers() {
+		if c.Ready() > now && c.Requests() == 0 {
+			sig.Warming++
+		}
+	}
+	if f.signalFree {
+		return sig
+	}
+	sig.CloneReady = fs.platform.CloneSourceReady()
+	if _, free := f.policy.(MemoryFree); !free {
+		sig.Memory = fs.platform.Memory()
+	}
+	if n := len(fs.arrivalTimes); n > 0 {
+		if span := now.Sub(fs.arrivalTimes[0]); span > 0 {
+			sig.ArrivalRatePerSec = float64(n) / span.Seconds()
+		}
+	}
+	if fs.stats.FullColdLatency.N() > 0 {
+		sig.MeanFullColdMs = fs.stats.FullColdLatency.Mean()
+	}
+	if fs.stats.CloneLatency.N() > 0 {
+		sig.MeanCloneColdMs = fs.stats.CloneLatency.Mean()
+	}
+	if len(fs.recentE2E) > 0 {
+		e2e := metrics.NewSummary(append([]float64(nil), fs.recentE2E...))
+		sig.MeanE2EMs = e2e.Mean()
+		sig.P95E2EMs = e2e.Percentile(95)
+		sig.MeanServiceMs = metrics.NewSummary(append([]float64(nil), fs.recentSvc...)).Mean()
+	}
+	return sig
 }
 
 // interarrival draws the next gap for a function: exponential for
@@ -227,6 +378,9 @@ func (f *Fleet) Run() (*Result, error) {
 			if f.err != nil || f.engine.Now() >= deadline {
 				return
 			}
+			if !f.signalFree {
+				fs.observeArrival(f.engine.Now())
+			}
 			fs.queue = append(fs.queue, f.engine.Now())
 			f.dispatch(fs)
 			f.engine.After(fs.interarrival(), arrive)
@@ -234,21 +388,28 @@ func (f *Fleet) Run() (*Result, error) {
 		f.engine.After(fs.interarrival(), arrive)
 	}
 
-	// Keep-alive reaper.
+	// Policy tick: sample the frame integral, then let the policy reap
+	// (or, in the equivalence tests, the injected legacy reaper).
+	step := f.reapIdle
+	if f.reapOverride != nil {
+		step = f.reapOverride
+	}
 	var reap func()
 	reap = func() {
 		if f.err != nil || f.engine.Now() >= deadline {
 			return
 		}
 		now := f.engine.Now()
+		f.sampleFrames(now, deadline)
 		for _, fs := range f.fns {
-			f.reapIdle(fs, now)
+			step(fs, now)
 		}
 		f.engine.After(f.cfg.KeepAlive/2, reap)
 	}
 	f.engine.After(f.cfg.KeepAlive/2, reap)
 
 	f.engine.RunUntil(deadline)
+	f.sampleFrames(deadline, deadline) // close the frame integral at the deadline
 	// Drain: let in-flight requests finish (no new arrivals).
 	f.engine.Run()
 	if f.err != nil {
@@ -256,6 +417,9 @@ func (f *Fleet) Run() (*Result, error) {
 	}
 
 	res := &Result{PeakFrames: f.kern.Phys.Peak(), EndFrames: f.kern.Phys.InUse()}
+	if deadline > 0 {
+		res.MeanFrames = f.frameArea / float64(deadline)
+	}
 	for _, fs := range f.fns {
 		res.PerFunction = append(res.PerFunction, fs.stats)
 	}
@@ -265,25 +429,46 @@ func (f *Fleet) Run() (*Result, error) {
 	return res, nil
 }
 
-// reapIdle applies the two-tier idle policy to one function's pool.
+// sampleFrames advances the frame-seconds integral to now (clamped to the
+// deadline: the mean is defined over the window, not the drain).
+func (f *Fleet) sampleFrames(now, deadline sim.Time) {
+	if now > deadline {
+		now = deadline
+	}
+	if dt := float64(now - f.lastSample); dt > 0 {
+		f.frameArea += float64(f.kern.Phys.InUse()) * dt
+		f.lastSample = now
+	}
+}
+
+// reapIdle applies the fleet's policy to one function's pool.
 //
-// Tier one (keep-alive): containers above the warm floor of one are removed
-// once idle past Config.KeepAlive. The pool is re-read after every removal —
-// faas.Platform.RemoveContainer compacts the live slice in place, so ranging
-// over a pre-reap snapshot would visit shifted (and stale duplicate) entries
-// and over-count removals.
+// Tier one: containers above the policy's warm floor are removed when
+// Policy.Reap says so, given their idle time. The pool is re-read after
+// every removal — faas.Platform.RemoveContainer compacts the live slice in
+// place, so ranging over a pre-reap snapshot would visit shifted (and stale
+// duplicate) entries and over-count removals.
 //
-// Tier two (scale-to-zero): with Config.ScaleToZeroAfter set and no queued
-// requests, the warm floor itself is removed after the longer TTL and the
-// deployment's snapshot image is evicted, returning its materialized frames
-// to the kernel.
+// Tier two (scale-to-zero): with no queued requests, the last container is
+// removed when Policy.Reap(last=true) says so. Policy.EvictImage then
+// decides whether the deployment's snapshot image goes too; a policy that
+// keeps it has the clone template captured first (EnsureCloneTemplate), so
+// the next scale-up revives the pool at clone cost instead of replaying the
+// pipeline.
 //
-// In both tiers a container that never served measures idleness from
+// In tier one a container that never served measures idleness from
 // Ready() — the time it became able to serve. An orphaned scale-up (its
 // queued request drained elsewhere during the cold start) would otherwise
-// pin the pool above the floor forever and block scale-to-zero.
+// pin the pool above the floor forever and block scale-to-zero. Tier two
+// measures from Ready() always, which is never earlier than the last
+// response's completion.
 func (f *Fleet) reapIdle(fs *fnState, now sim.Time) {
-	for len(fs.platform.Containers()) > 1 {
+	sig := f.signals(fs, now)
+	floor := f.policy.WarmFloor(sig)
+	if floor < 1 {
+		floor = 1 // the last container belongs to the scale-to-zero tier
+	}
+	for len(fs.platform.Containers()) > floor {
 		removed := false
 		for _, c := range fs.platform.Containers() {
 			if c.Ready() > now {
@@ -293,9 +478,13 @@ func (f *Fleet) reapIdle(fs *fnState, now sim.Time) {
 			if idleSince == 0 {
 				idleSince = c.Ready() // never served: idle since serveable
 			}
-			if now.Sub(idleSince) > f.cfg.KeepAlive {
+			if f.policy.Reap(sig, now.Sub(idleSince), false) {
 				fs.platform.RemoveContainer(c)
 				fs.stats.Reaped++
+				// Refresh the whole observation set: a half-updated
+				// snapshot (new pool size, old memory figures) would
+				// skew per-container rent for the next decision.
+				sig = f.signals(fs, now)
 				removed = true
 				break // re-read the pool; the slice just changed under us
 			}
@@ -305,21 +494,38 @@ func (f *Fleet) reapIdle(fs *fnState, now sim.Time) {
 		}
 	}
 
-	if f.cfg.ScaleToZeroAfter <= 0 || len(fs.queue) > 0 {
+	if len(fs.queue) > 0 || floor > 1 {
 		return
 	}
 	cs := fs.platform.Containers()
+	if len(cs) == 0 {
+		// The pool already scaled to zero with its image kept: re-consult
+		// the eviction verdict every tick. The rate estimate decays after
+		// traffic stops, so a "keep" made mid-traffic must be allowed to
+		// flip once holding the image no longer pays.
+		if f.policy.EvictImage(sig) && fs.platform.EvictImage() {
+			fs.stats.ImagesEvicted++
+		}
+		return
+	}
 	if len(cs) != 1 {
 		return
 	}
 	c := cs[0]
-	if c.Ready() > now || now.Sub(c.Ready()) <= f.cfg.ScaleToZeroAfter {
+	if c.Ready() > now || !f.policy.Reap(sig, now.Sub(c.Ready()), true) {
 		return
+	}
+	evict := f.policy.EvictImage(sig)
+	if !evict {
+		// Keep the revival path cheap: capture the donor template before
+		// the donor disappears. The template (and its snapshot) survives
+		// the container's removal.
+		fs.platform.EnsureCloneTemplate()
 	}
 	fs.platform.RemoveContainer(c)
 	fs.stats.Reaped++
 	fs.stats.ScaledToZero++
-	if fs.platform.EvictImage() {
+	if evict && fs.platform.EvictImage() {
 		fs.stats.ImagesEvicted++
 	}
 }
@@ -334,28 +540,43 @@ func (f *Fleet) dispatch(fs *fnState) {
 	for len(fs.queue) > 0 {
 		c := f.pickReady(fs, now)
 		if c == nil {
-			// No container free right now: scale up if allowed, then wait
-			// for the earliest ready time either way.
-			if len(fs.platform.Containers()) < f.cfg.MaxContainersPerFunction {
-				nc, err := fs.platform.AddContainer()
-				if err != nil {
-					f.err = err
-					f.engine.Stop()
-					return
+			// No container free right now: ask the policy how many to add
+			// (clamped to the pool's headroom), then wait for the earliest
+			// ready time either way.
+			added := false
+			if headroom := f.cfg.MaxContainersPerFunction - len(fs.platform.Containers()); headroom > 0 {
+				n := f.policy.ScaleUp(f.signals(fs, now))
+				if n > headroom {
+					n = headroom
 				}
-				cold := nc.ColdStart()
-				fs.stats.ColdStarts++
-				fs.stats.ColdStartCost += cold.Total
-				if cold.ClonedFrom >= 0 {
-					fs.stats.CloneColdStarts++
-					fs.stats.CloneLatency.AddDuration(cold.Total)
-				} else {
-					fs.stats.FullColdStarts++
-					fs.stats.FullColdLatency.AddDuration(cold.Total)
+				if n < 1 && len(fs.platform.Containers()) == 0 {
+					n = 1 // an empty pool must scale or the queue starves
 				}
-				f.engine.At(nc.Ready(), func() { f.dispatch(fs) })
-			} else if next := f.earliestReady(fs); next > now {
-				f.engine.At(next, func() { f.dispatch(fs) })
+				for i := 0; i < n; i++ {
+					nc, err := fs.platform.AddContainer()
+					if err != nil {
+						f.err = err
+						f.engine.Stop()
+						return
+					}
+					cold := nc.ColdStart()
+					fs.stats.ColdStarts++
+					fs.stats.ColdStartCost += cold.Total
+					if cold.ClonedFrom >= 0 {
+						fs.stats.CloneColdStarts++
+						fs.stats.CloneLatency.AddDuration(cold.Total)
+					} else {
+						fs.stats.FullColdStarts++
+						fs.stats.FullColdLatency.AddDuration(cold.Total)
+					}
+					f.engine.At(nc.Ready(), func() { f.dispatch(fs) })
+					added = true
+				}
+			}
+			if !added {
+				if next := f.earliestReady(fs); next > now {
+					f.engine.At(next, func() { f.dispatch(fs) })
+				}
 			}
 			return
 		}
@@ -371,6 +592,9 @@ func (f *Fleet) dispatch(fs *fnState) {
 		fs.stats.Requests++
 		fs.stats.E2E.AddDuration(st.E2E + wait)
 		fs.stats.Queue.AddDuration(wait)
+		if !f.signalFree {
+			fs.observeLatency(float64(st.E2E+wait)/1e6, float64(st.Invoker)/1e6)
+		}
 		if st.Restored {
 			fs.stats.Restores++
 		}
