@@ -29,7 +29,7 @@ var experimentNames = []string{
 	"table1", "table2", "table3", "headline",
 	"ablation-uffd", "ablation-coalesce", "ablation-trust", "ablation-statestore",
 	"ablation-timevirt", "loadsweep", "related-work", "fleet", "bench-restore",
-	"bench-coldstart", "bench-fleet", "bench-policy",
+	"bench-coldstart", "bench-fleet", "bench-policy", "bench-faults",
 }
 
 func main() {
@@ -48,6 +48,8 @@ func main() {
 		"output path for the bench-fleet JSON summary (empty disables)")
 	flag.StringVar(&policyJSONPath, "policy-json", "BENCH_policy.json",
 		"output path for the bench-policy JSON summary (empty disables)")
+	flag.StringVar(&faultsJSONPath, "faults-json", "BENCH_faults.json",
+		"output path for the bench-faults JSON summary (empty disables)")
 	flag.Parse()
 
 	if *list {
@@ -178,6 +180,8 @@ func run(cfg experiments.Config, names []string, quick bool) error {
 			tb, err = benchFleet(cfg, quick)
 		case "bench-policy":
 			tb, err = benchPolicy(cfg, quick)
+		case "bench-faults":
+			tb, err = benchFaults(cfg, quick)
 		default:
 			return fmt.Errorf("unknown experiment %q (try -list)", name)
 		}
@@ -285,4 +289,24 @@ func benchPolicy(cfg experiments.Config, quick bool) (*metrics.Table, error) {
 		return nil, err
 	}
 	return experiments.PolicyBenchTable(res), nil
+}
+
+// faultsJSONPath is where benchFaults writes its summary.
+var faultsJSONPath string
+
+// benchFaults runs the fault-injection benchmark — the bursty
+// multi-function workload on a clone-enabled fleet with every fault seam
+// armed at ~1% plus scheduled crash-wave/corruption/drain events — and
+// writes BENCH_faults.json so CI can hold the recovery invariants:
+// lost_requests and leaked_frames are identity-gated at zero, the retry
+// backoff and latency tail drift-gated.
+func benchFaults(cfg experiments.Config, quick bool) (*metrics.Table, error) {
+	res, err := experiments.FaultsBench(cfg, quick)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeBenchJSON(faultsJSONPath, []experiments.FaultsBenchResult{res}); err != nil {
+		return nil, err
+	}
+	return experiments.FaultsBenchTable(res), nil
 }

@@ -16,6 +16,9 @@
 //     "frames_in_use", plus the fleet benchmark's "end_frames"): relative
 //     drift beyond the threshold fails in either direction — improvements
 //     require an intentional re-baseline, exactly like regressions;
+//   - invariant counters ("leaked_frames", "lost_requests" from the
+//     fault-injection suite): must match the baseline exactly — the
+//     baseline pins them at zero, so any change is a recovery bug;
 //   - identity strings (benchmark/tracker/mode names): must match exactly;
 //   - wall-clock and byte counters: machine-dependent, informational only.
 //
@@ -136,6 +139,14 @@ func check(path string, bv, cv any, maxDrift float64) (Violation, bool) {
 	}
 	name := strings.ToLower(leafName(path))
 	switch {
+	case name == "leaked_frames" || name == "lost_requests":
+		// Hard invariants of the fault-injection suite: recovery must never
+		// drop a request or leak a frame, so any change — in either
+		// direction — is a violation, not drift.
+		if cn != bn {
+			return Violation{Path: path, Baseline: fmtNum(bn), Current: fmtNum(cn),
+				Reason: "invariant counter changed (must match baseline exactly)"}, true
+		}
 	case strings.Contains(name, "allocs"):
 		if cn > bn+AllocSlack {
 			return Violation{Path: path, Baseline: fmtNum(bn), Current: fmtNum(cn),

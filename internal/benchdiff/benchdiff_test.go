@@ -33,6 +33,13 @@ const baseline = `[
     "benchmark": "fleet-bursty-mix",
     "keepalive": {"variant": "keepalive", "reaped": 13, "peak_frames_in_use": 708774, "end_frames": 219502},
     "clone_scaleout": {"variant": "clone-scaleout", "reaped": 15, "peak_frames_in_use": 191146, "end_frames": 22532}
+  },
+  {
+    "benchmark": "faults-recovery",
+    "lost_requests": 0,
+    "leaked_frames": 0,
+    "crashes": 7,
+    "retry_backoff_virtual_us": 75000
   }
 ]`
 
@@ -123,6 +130,44 @@ func TestFleetFrameMetricsGated(t *testing.T) {
 	cur = strings.Replace(baseline, `"reaped": 13`, `"reaped": 40`, 1)
 	if vs := mustCompare(t, cur); len(vs) != 0 {
 		t.Fatalf("informational reap counter flagged: %v", vs)
+	}
+}
+
+// TestInvariantCountersIdentityGated: the fault suite's lost_requests and
+// leaked_frames are pinned at exact identity — any nonzero value is a
+// recovery bug, never acceptable drift (even with a generous drift budget,
+// and even "improvements" in surrounding informational counters pass while
+// the invariant still trips).
+func TestInvariantCountersIdentityGated(t *testing.T) {
+	cur := strings.Replace(baseline, `"leaked_frames": 0`, `"leaked_frames": 3`, 1)
+	vs, err := Compare([]byte(baseline), []byte(cur), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0].Path, "leaked_frames") {
+		t.Fatalf("leaked-frames violation not caught: %v", vs)
+	}
+	cur = strings.Replace(baseline, `"lost_requests": 0`, `"lost_requests": 1`, 1)
+	vs, err = Compare([]byte(baseline), []byte(cur), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0].Path, "lost_requests") {
+		t.Fatalf("lost-requests violation not caught: %v", vs)
+	}
+	// Informational recovery counters may move freely; the virtual backoff
+	// figure is drift-gated like every other virtual cost.
+	cur = strings.Replace(baseline, `"crashes": 7`, `"crashes": 11`, 1)
+	if vs := mustCompare(t, cur); len(vs) != 0 {
+		t.Fatalf("informational crash counter flagged: %v", vs)
+	}
+	cur = strings.Replace(baseline, `"retry_backoff_virtual_us": 75000`, `"retry_backoff_virtual_us": 200000`, 1)
+	vs, err = Compare([]byte(baseline), []byte(cur), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0].Path, "retry_backoff_virtual_us") {
+		t.Fatalf("retry-backoff drift not caught: %v", vs)
 	}
 }
 

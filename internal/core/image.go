@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"groundhog/internal/faults"
 	"groundhog/internal/kernel"
 	"groundhog/internal/mem"
 	"groundhog/internal/procfs"
@@ -36,10 +37,73 @@ type SnapshotImage struct {
 	frames   []mem.FrameID
 	refs     int
 	released bool
+
+	// sum is the integrity checksum over the image's page identities and
+	// frame contents, recorded at export time on fault-armed platforms only
+	// (summed marks that it was). corrupted models bit-rot: the shared
+	// frames are left untouched (sibling containers mapping them CoW must
+	// not be affected), but Verify fails until the image is evicted.
+	sum       uint64
+	summed    bool
+	corrupted bool
 }
 
 // Pages reports the number of recorded pages in the image.
 func (img *SnapshotImage) Pages() int { return len(img.vpns) }
+
+// Released reports whether the image's frames have already been returned to
+// physical memory (last holder released / image evicted).
+func (img *SnapshotImage) Released() bool { return img.released }
+
+// Frames returns a copy of the image's backing frame IDs. Tests use it to
+// corrupt frame bytes in place and assert the integrity check notices.
+func (img *SnapshotImage) Frames() []mem.FrameID {
+	return append([]mem.FrameID(nil), img.frames...)
+}
+
+// MarkCorrupted flags the image as having suffered frame corruption — the
+// simulator's stand-in for bit-rot or a torn write. Detection and recovery
+// are the callers' job: the next Verify fails, and faas responds by evicting
+// the image and falling back to the full cold-start pipeline.
+func (img *SnapshotImage) MarkCorrupted() { img.corrupted = true }
+
+// Verify re-checks the image's integrity before a clone. A corrupted image
+// always fails. When a checksum was recorded at export (fault-armed
+// platforms), the sum is recomputed over the live frames — charging perPage
+// per page to meter — and compared; a disarmed export recorded no checksum,
+// so Verify is free and trusts the image.
+func (img *SnapshotImage) Verify(perPage sim.Duration, meter *sim.Meter) bool {
+	if img.corrupted {
+		return false
+	}
+	if !img.summed {
+		return true
+	}
+	sim.ChargeTo(meter, perPage*sim.Duration(len(img.frames)))
+	return img.computeSum() == img.sum
+}
+
+// fnvPrime64 is the 64-bit FNV prime used by the image checksum.
+const fnvPrime64 = 1099511628211
+
+// mixSum folds one 64-bit value into the running FNV-1a image checksum.
+func mixSum(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// computeSum hashes the image's page identities and frame contents.
+func (img *SnapshotImage) computeSum() uint64 {
+	h := uint64(1469598103934665603)
+	for i, vpn := range img.vpns {
+		h = mixSum(h, vpn)
+		h = mixSum(h, img.phys.Checksum(img.frames[i]))
+	}
+	return h
+}
 
 // VMAs reports the number of memory regions in the image.
 func (img *SnapshotImage) VMAs() int { return len(img.layout) }
@@ -107,17 +171,37 @@ func (m *Manager) ExportImage(meter *sim.Meter) (*SnapshotImage, error) {
 		img.regs = append(img.regs, regs)
 	}
 
+	// An armed fault plan can abort the export partway through its frame
+	// loop; the partial image's frame references are unwound so the frame
+	// pool stays balanced (no holder, no leak).
+	failAt := -1
+	var exportFault error
+	if ferr := m.kern.Faults.Fire(faults.SiteSnapshotExport); ferr != nil {
+		failAt = m.kern.Faults.Cut(faults.SiteSnapshotExport, len(snap.store.vpns)+1)
+		exportFault = ferr
+	}
+
 	st := &snap.store
 	if st.frames != nil {
-		for _, f := range st.frames {
+		for i, f := range st.frames {
+			if i == failAt {
+				return nil, m.abortExport(img, exportFault)
+			}
 			phys.Ref(f)
 			img.frames = append(img.frames, f)
+			sim.ChargeTo(meter, m.kern.Cost.SnapshotCoWPerPage)
 		}
-		sim.ChargeTo(meter, m.kern.Cost.SnapshotCoWPerPage*sim.Duration(len(st.frames)))
+		if failAt == len(st.frames) {
+			return nil, m.abortExport(img, exportFault)
+		}
+		m.finishChecksum(img, meter)
 		return img, nil
 	}
 	var zeroFrame mem.FrameID
 	for i := range st.vpns {
+		if i == failAt {
+			return nil, m.abortExport(img, exportFault)
+		}
 		if st.off[i] < 0 {
 			// All-zero page: every such page shares one lazily-zero frame,
 			// charged like a CoW reference (the refcount bump is the same
@@ -136,7 +220,35 @@ func (m *Manager) ExportImage(meter *sim.Meter) (*SnapshotImage, error) {
 		img.frames = append(img.frames, f)
 		sim.ChargeTo(meter, m.kern.Cost.SnapshotPerPage)
 	}
+	if failAt == len(st.vpns) {
+		return nil, m.abortExport(img, exportFault)
+	}
+	m.finishChecksum(img, meter)
 	return img, nil
+}
+
+// abortExport unwinds a partially-built image after an injected export
+// fault: every frame reference the loop acquired is released.
+func (m *Manager) abortExport(img *SnapshotImage, cause error) error {
+	n := len(img.frames)
+	for _, f := range img.frames {
+		m.kern.Phys.Unref(f)
+	}
+	img.frames = nil
+	img.released = true
+	return fmt.Errorf("core: snapshot export aborted after %d pages: %w", n, cause)
+}
+
+// finishChecksum records the image's integrity checksum on fault-armed
+// platforms (charging ChecksumPerPage per page); disarmed platforms skip it
+// entirely, keeping the export byte-identical to a build without seams.
+func (m *Manager) finishChecksum(img *SnapshotImage, meter *sim.Meter) {
+	if !m.kern.Faults.Armed() {
+		return
+	}
+	img.sum = img.computeSum()
+	img.summed = true
+	sim.ChargeTo(meter, m.kern.Cost.ChecksumPerPage*sim.Duration(len(img.frames)))
 }
 
 // NewManagerFromSnapshot is the snapshot-clone cold start: it spawns a fresh

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"groundhog/internal/faults"
 	"groundhog/internal/mem"
 	"groundhog/internal/procfs"
 	"groundhog/internal/sim"
@@ -182,6 +183,12 @@ type restoreScratch struct {
 func (m *Manager) Restore() (RestoreStats, error) {
 	if m.snap == nil {
 		return RestoreStats{}, fmt.Errorf("core: restore before snapshot")
+	}
+	// Injected restore faults fire before any state is touched, so a failed
+	// restore never leaves the process half-rolled-back: the caller's only
+	// safe recovery — tearing the container down — releases everything.
+	if ferr := m.kern.Faults.Fire(faults.SiteRestore); ferr != nil {
+		return RestoreStats{}, fmt.Errorf("core: restore: %w", ferr)
 	}
 	sc := &m.scratch
 	if sc.meter == nil {

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFaultsBenchInvariants pins the benchmark's hard guarantees under an
+// armed ~1% fault plan plus crash-wave/corruption/drain events: every
+// arrived request is served (no silent drops), teardown leaks no frames,
+// and the recovery machinery actually engaged — fallbacks and retries both
+// non-zero, so the gate is not green by vacuity.
+func TestFaultsBenchInvariants(t *testing.T) {
+	res, err := FaultsBench(quick(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived == 0 {
+		t.Fatal("no requests arrived")
+	}
+	if res.LostRequests != 0 {
+		t.Fatalf("lost %d of %d requests", res.LostRequests, res.Arrived)
+	}
+	if res.LeakedFrames != 0 {
+		t.Fatalf("teardown leaked %d frames", res.LeakedFrames)
+	}
+	if res.CloneFallbacks == 0 {
+		t.Fatal("fault plan produced no clone fallbacks")
+	}
+	if res.ColdStartRetries == 0 {
+		t.Fatal("fault plan produced no cold-start retries")
+	}
+	if res.EventCrashes == 0 || res.Drained == 0 {
+		t.Fatalf("events idle: crash wave removed %d, drain removed %d", res.EventCrashes, res.Drained)
+	}
+	if res.E2EP999VirtualMs < res.E2EP99VirtualMs || res.E2EP99VirtualMs < res.E2EP95VirtualMs {
+		t.Fatalf("tail percentiles not monotone: p95=%.2f p99=%.2f p99.9=%.2f",
+			res.E2EP95VirtualMs, res.E2EP99VirtualMs, res.E2EP999VirtualMs)
+	}
+}
+
+// TestFaultsBenchDeterministic pins seed-reproducibility: the gated JSON
+// must be byte-stable, so two runs with the same config are deeply equal.
+func TestFaultsBenchDeterministic(t *testing.T) {
+	a, err := FaultsBench(quick(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultsBench(quick(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFaultsBenchTableRenders(t *testing.T) {
+	res, err := FaultsBench(quick(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FaultsBenchTable(res).Render()
+	for _, want := range []string{"Fault injection", "leaked frames", "clone fallbacks", "p99.9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

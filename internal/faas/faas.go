@@ -14,9 +14,12 @@
 package faas
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"groundhog/internal/core"
+	"groundhog/internal/faults"
 	"groundhog/internal/isolation"
 	"groundhog/internal/kernel"
 	"groundhog/internal/runtimes"
@@ -45,6 +48,11 @@ type RequestStats struct {
 	// ReadyAgain is the virtual time the container could accept the next
 	// request (Completed + Cleanup).
 	ReadyAgain sim.Time
+	// ContainerLost reports that the container was torn down right after
+	// delivering this response: its post-response rollback failed, so it
+	// could never isolate another request. The response itself is valid —
+	// the request is served, only the container is gone.
+	ContainerLost bool
 }
 
 // ColdStartStats reports a container's initialization, phase by phase
@@ -64,6 +72,14 @@ type ColdStartStats struct {
 	// start.
 	ClonedFrom int
 	Total      sim.Duration
+	// Retries counts failed attempts before this container came up; the
+	// exponential backoff they cost is folded into Total (and reported
+	// separately as RetryBackoff).
+	Retries      int
+	RetryBackoff sim.Duration
+	// CloneFallback marks a full-pipeline start that was forced by a
+	// clone-path failure (lost template, integrity failure, spawn fault).
+	CloneFallback bool
 }
 
 // Container is one warm function container: a function process (plus
@@ -174,7 +190,40 @@ type Platform struct {
 	// lazily too; once captured, the template stays valid even after the
 	// donor container is removed.
 	template *cloneTemplate
+
+	// quarantined holds donor container IDs banned from further clone
+	// donation after repeated clone failures (see QuarantineAfter).
+	quarantined map[int]bool
+	// recovery accumulates the deployment's failure-recovery counters.
+	recovery RecoveryStats
 }
+
+// RecoveryStats counts the deployment's failure-recovery actions. All zeros
+// on a platform that never saw a fault.
+type RecoveryStats struct {
+	// ColdStartRetries counts failed cold-start attempts that were retried
+	// with backoff; RetryBackoff is the total virtual delay those retries
+	// added to container readiness (the deployment's recovery-latency bill).
+	ColdStartRetries int
+	RetryBackoff     sim.Duration
+	// CloneFallbacks counts cold starts that fell back from the
+	// snapshot-clone fast path to the full Fig. 1 pipeline.
+	CloneFallbacks int
+	// Crashes counts containers torn down by a crash before their request
+	// produced a response (the request is the dispatcher's to retry).
+	Crashes int
+	// RestoreFaults counts post-response restore failures: the response was
+	// delivered, then the container was torn down instead of rolled back.
+	RestoreFaults int
+	// ImageIntegrityFailures counts clone attempts aborted by the image
+	// checksum (the image is evicted each time).
+	ImageIntegrityFailures int
+	// DonorsQuarantined counts donors banned after repeated clone failures.
+	DonorsQuarantined int
+}
+
+// Recovery reports the deployment's cumulative failure-recovery counters.
+func (pl *Platform) Recovery() RecoveryStats { return pl.recovery }
 
 // cloneTemplate is the donor material for snapshot-clone cold starts: the
 // strategy whose snapshot will be exported, the donor instance's warm
@@ -185,6 +234,9 @@ type cloneTemplate struct {
 	strat   isolation.Cloneable
 	state   runtimes.ImageState
 	image   *core.SnapshotImage
+	// failures counts clone attempts this template has failed; at
+	// QuarantineAfter the donor is quarantined and the template dropped.
+	failures int
 }
 
 // NewPlatform deploys the function described by prof under the given
@@ -238,19 +290,53 @@ func (pl *Platform) AddWarmContainer() (*Container, error) {
 	return c, nil
 }
 
+// MaxColdStartAttempts bounds AddContainer's retry loop: an injected
+// cold-start failure is retried with exponential backoff until the container
+// comes up or the budget is spent, at which point the error wraps both
+// ErrColdStartFailed and the last attempt's cause.
+const MaxColdStartAttempts = 4
+
+// ColdStartBackoffBase is the virtual backoff before the first retry; it
+// doubles per further attempt. The delay is folded into the container's
+// readiness time (and reported in ColdStartStats.RetryBackoff), which is how
+// retried cold starts surface as recovery latency.
+const ColdStartBackoffBase = 25 * time.Millisecond
+
 // AddContainer cold-starts one more container for this platform at the
 // current virtual time; it becomes ready once its initialization completes.
+// Injected cold-start failures (armed fault plans) are retried with
+// exponential backoff — only genuine errors and an exhausted retry budget
+// propagate.
 func (pl *Platform) AddContainer() (*Container, error) {
 	id := pl.nextContainerID
 	pl.nextContainerID++
-	c, err := pl.coldStart(id, pl.rng.Uint64())
-	if err != nil {
-		return nil, err
+	var backoff sim.Duration
+	var retries int
+	for attempt := 1; ; attempt++ {
+		c, err := pl.coldStart(id, pl.rng.Uint64())
+		if err == nil {
+			c.cold.Retries = retries
+			c.cold.RetryBackoff = backoff
+			c.cold.Total += backoff
+			pl.recordColdStart(c.cold)
+			c.ready = pl.Engine.Now().Add(c.cold.Total)
+			pl.containers = append(pl.containers, c)
+			return c, nil
+		}
+		if !errors.Is(err, faults.ErrInjected) {
+			// Genuine errors (bad configuration, programming errors) are not
+			// retryable and propagate unclassified.
+			return nil, err
+		}
+		if attempt >= MaxColdStartAttempts {
+			return nil, fmt.Errorf("%w after %d attempt(s): %w", ErrColdStartFailed, attempt, err)
+		}
+		delay := sim.Duration(ColdStartBackoffBase) << (attempt - 1)
+		backoff += delay
+		retries++
+		pl.recovery.ColdStartRetries++
+		pl.recovery.RetryBackoff += delay
 	}
-	pl.recordColdStart(c.cold)
-	c.ready = pl.Engine.Now().Add(c.cold.Total)
-	pl.containers = append(pl.containers, c)
-	return c, nil
 }
 
 // RemoveContainer shuts a container down (keep-alive expiry), terminating
@@ -331,11 +417,24 @@ func (pl *Platform) Containers() []*Container { return pl.containers }
 
 // coldStart initializes one new container: the full Fig. 1 pipeline, or —
 // when clone scale-out is enabled and a sibling snapshot exists — the
-// snapshot-clone fast path.
+// snapshot-clone fast path. A clone-path failure (injected spawn/export
+// fault, integrity failure, evicted image) penalizes the template and falls
+// back to the full pipeline instead of failing the scale-up.
 func (pl *Platform) coldStart(id int, seed uint64) (*Container, error) {
+	cloneFallback := false
 	if pl.CloneScaleOut {
 		if tmpl := pl.cloneSource(); tmpl != nil {
-			return pl.cloneStart(id, seed, tmpl)
+			c, err := pl.cloneStart(id, seed, tmpl)
+			if err == nil {
+				return c, nil
+			}
+			if !errors.Is(err, faults.ErrInjected) &&
+				!errors.Is(err, ErrImageCorrupt) && !errors.Is(err, ErrImageEvicted) {
+				return nil, err
+			}
+			pl.noteCloneFailure(tmpl, err)
+			pl.recovery.CloneFallbacks++
+			cloneFallback = true
 		}
 	}
 	cost := pl.Kern.Cost
@@ -355,6 +454,13 @@ func (pl *Platform) coldStart(id int, seed uint64) (*Container, error) {
 	warmMeter := sim.NewMeter()
 	inst.WarmUp(warmMeter)
 	sim.ChargeTo(m, warmMeter.Total())
+
+	// Injected pipeline failure, after the expensive phases: the dead
+	// runtime's process must be reaped or its frames would leak.
+	if ferr := pl.Kern.Faults.Fire(faults.SiteColdStart); ferr != nil {
+		pl.Kern.Exit(inst.Proc)
+		return nil, fmt.Errorf("faas: cold-start pipeline for container %d: %w", id, ferr)
+	}
 
 	strat, err := isolation.NewWithStore(pl.mode, pl.Kern, inst.Proc, pl.Store)
 	if err != nil {
@@ -380,6 +486,7 @@ func (pl *Platform) coldStart(id int, seed uint64) (*Container, error) {
 			StrategyInit:     stratInit,
 			ClonedFrom:       -1,
 			Total:            m.Total(),
+			CloneFallback:    cloneFallback,
 		},
 		ready: pl.Engine.Now(),
 	}
@@ -419,7 +526,7 @@ func (pl *Platform) cloneSource() *cloneTemplate {
 func (pl *Platform) findDonor() *Container {
 	var donor *Container
 	for _, c := range pl.containers {
-		if c.tainted {
+		if c.tainted || pl.quarantined[c.ID] {
 			continue
 		}
 		if _, ok := c.strat.(isolation.Cloneable); !ok {
@@ -482,6 +589,19 @@ func (pl *Platform) cloneStart(id int, seed uint64, tmpl *cloneTemplate) (*Conta
 		// be reclaimed while the image lives on.
 		tmpl.strat = nil
 	}
+	if tmpl.image.Released() {
+		return nil, fmt.Errorf("faas: clone from container %d: %w", tmpl.donorID, ErrImageEvicted)
+	}
+	// Injected frame corruption (bit-rot between export and clone) lands
+	// here; the integrity check below is what detects it — the same check
+	// every clone on a fault-armed platform performs.
+	if ferr := pl.Kern.Faults.Fire(faults.SiteImageCorrupt); ferr != nil {
+		tmpl.image.MarkCorrupted()
+	}
+	if !tmpl.image.Verify(cost.ChecksumPerPage, m) {
+		pl.recovery.ImageIntegrityFailures++
+		return nil, fmt.Errorf("faas: clone from container %d: %w", tmpl.donorID, ErrImageCorrupt)
+	}
 	strat, proc, err := isolation.NewCloned(pl.mode, pl.Kern, tmpl.image, m)
 	if err != nil {
 		return nil, fmt.Errorf("faas: clone cold start: %w", err)
@@ -502,6 +622,58 @@ func (pl *Platform) cloneStart(id int, seed uint64, tmpl *cloneTemplate) (*Conta
 		ready: pl.Engine.Now(),
 	}
 	return c, nil
+}
+
+// QuarantineAfter is the number of clone failures a template tolerates
+// before its donor is quarantined: the donor's ID is banned from further
+// donation and the template dropped, so the next clone attempt recaptures
+// from a different (presumably healthy) container.
+const QuarantineAfter = 3
+
+// noteCloneFailure penalizes the template after a failed clone attempt. An
+// unusable image (integrity failure, eviction) is dropped immediately — the
+// next scale-up recaptures from a live donor or replays the pipeline.
+// Other failures count against the donor until it is quarantined.
+func (pl *Platform) noteCloneFailure(tmpl *cloneTemplate, err error) {
+	if errors.Is(err, ErrImageCorrupt) || errors.Is(err, ErrImageEvicted) {
+		pl.EvictImage()
+		return
+	}
+	tmpl.failures++
+	if tmpl.failures >= QuarantineAfter {
+		if pl.quarantined == nil {
+			pl.quarantined = make(map[int]bool)
+		}
+		pl.quarantined[tmpl.donorID] = true
+		pl.recovery.DonorsQuarantined++
+		pl.EvictImage()
+	}
+}
+
+// CorruptImage marks the deployment's exported snapshot image as corrupted —
+// the fleet simulator's image-corruption event. The next clone attempt's
+// integrity check detects it, evicts the image, and falls back to the full
+// pipeline. Returns false when no exported image exists to corrupt.
+func (pl *Platform) CorruptImage() bool {
+	if pl.template == nil || pl.template.image == nil {
+		return false
+	}
+	pl.template.image.MarkCorrupted()
+	return true
+}
+
+// CaptureCloneTemplate captures the deployment's clone template immediately,
+// distinguishing the failure kinds EnsureCloneTemplate folds into false:
+// ErrNoDonor when no eligible donor is pooled, a plain error when clone
+// scale-out is off.
+func (pl *Platform) CaptureCloneTemplate() error {
+	if !pl.CloneScaleOut {
+		return fmt.Errorf("faas: clone scale-out disabled")
+	}
+	if pl.cloneSource() == nil {
+		return fmt.Errorf("faas: capture clone template: %w", ErrNoDonor)
+	}
+	return nil
 }
 
 // ColdStartSummary is the deployment's cumulative scale-up bill: how many
@@ -589,7 +761,7 @@ func (pl *Platform) serve(c *Container, reqID uint64) (RequestStats, error) {
 // front ends such as cmd/ghserve.
 func (pl *Platform) InvokeOnce(caller string) (RequestStats, error) {
 	if len(pl.containers) == 0 {
-		return RequestStats{}, fmt.Errorf("faas: no containers")
+		return RequestStats{}, ErrNoContainers
 	}
 	c := pl.containers[0]
 	if c.ready > pl.Engine.Now() {
@@ -614,11 +786,17 @@ func (pl *Platform) serveAs(c *Container, reqID uint64, caller string) (RequestS
 	req := runtimes.Request{ID: reqID, Caller: caller, SizeKB: pl.prof.InputKB}
 
 	// Deferred rollback: the container still holds the previous caller's
-	// state and this request must not see it.
+	// state and this request must not see it. A failed rollback here means
+	// the request never ran — the container is crashed before it can leak
+	// the previous caller's state, and the request may be retried elsewhere.
 	var preRestore sim.Duration
 	if c.tainted && (!pl.TrustSameCaller || caller != c.lastCaller) {
 		cleanup, err := c.strat.EndRequest()
 		if err != nil {
+			if errors.Is(err, faults.ErrInjected) {
+				pl.crash(c)
+				return RequestStats{}, fmt.Errorf("%w: deferred rollback on container %d: %w", ErrContainerCrashed, c.ID, err)
+			}
 			return RequestStats{}, err
 		}
 		if cleanup.Restored {
@@ -643,6 +821,17 @@ func (pl *Platform) serveAs(c *Container, reqID uint64, caller string) (RequestS
 	if err != nil {
 		return RequestStats{}, err
 	}
+
+	// Mid-request crash seam: the function process dies after the request
+	// was handed over but before any response exists. The container is torn
+	// down (releasing every frame it held, including a fork strategy's
+	// in-flight child) and the caller decides whether to retry the request
+	// on another container.
+	if ferr := pl.Kern.Faults.Fire(faults.SiteRequestCrash); ferr != nil {
+		pl.crash(c)
+		return RequestStats{}, fmt.Errorf("%w: container %d: %w", ErrContainerCrashed, c.ID, ferr)
+	}
+
 	resp := c.inst.InvokeOn(proc, req, m)
 
 	// Output path. With DirectReturn (§4.5 option 2) the function hands the
@@ -658,8 +847,12 @@ func (pl *Platform) serveAs(c *Container, reqID uint64, caller string) (RequestS
 
 	// The response is now back at the invoker; cleanup happens after —
 	// unless the platform trusts the next same-caller request, in which
-	// case the rollback is deferred (and possibly elided entirely).
+	// case the rollback is deferred (and possibly elided entirely). A
+	// rollback that fails *here* cannot fail the request (the response was
+	// already delivered): the container is torn down instead, since it can
+	// never isolate another request.
 	var cleanup isolation.CleanupResult
+	containerLost := false
 	if pl.TrustSameCaller && c.strat.CanSkipCleanup() {
 		c.tainted = true
 		c.lastCaller = caller
@@ -667,12 +860,19 @@ func (pl *Platform) serveAs(c *Container, reqID uint64, caller string) (RequestS
 		var err error
 		cleanup, err = c.strat.EndRequest()
 		if err != nil {
-			return RequestStats{}, err
+			if !errors.Is(err, faults.ErrInjected) {
+				return RequestStats{}, err
+			}
+			pl.recovery.RestoreFaults++
+			pl.RemoveContainer(c)
+			cleanup = isolation.CleanupResult{}
+			containerLost = true
+		} else {
+			if cleanup.Restored {
+				c.notifyRestored(pl)
+			}
+			c.lastCaller = caller
 		}
-		if cleanup.Restored {
-			c.notifyRestored(pl)
-		}
-		c.lastCaller = caller
 	}
 
 	invoker := m.Total()
@@ -682,13 +882,24 @@ func (pl *Platform) serveAs(c *Container, reqID uint64, caller string) (RequestS
 	c.lastDone = completed
 	c.ready = completed.Add(cleanup.Duration)
 	return RequestStats{
-		Invoker:    invoker,
-		E2E:        e2e,
-		Cleanup:    cleanup.Duration,
-		PreRestore: preRestore,
-		Restore:    cleanup.Restore,
-		Restored:   cleanup.Restored,
-		Completed:  completed,
-		ReadyAgain: c.ready,
+		Invoker:       invoker,
+		E2E:           e2e,
+		Cleanup:       cleanup.Duration,
+		PreRestore:    preRestore,
+		Restore:       cleanup.Restore,
+		Restored:      cleanup.Restored,
+		Completed:     completed,
+		ReadyAgain:    c.ready,
+		ContainerLost: containerLost,
 	}, nil
+}
+
+// crash tears down a container that died before its request produced a
+// response: the process is reaped and the strategy's frame references
+// released exactly as on keep-alive expiry, and the deployment's crash
+// counter advances. The in-flight request is the caller's to retry on
+// another container.
+func (pl *Platform) crash(c *Container) {
+	pl.recovery.Crashes++
+	pl.RemoveContainer(c)
 }

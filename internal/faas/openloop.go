@@ -16,7 +16,7 @@ import (
 // deferred restore before executing.
 func (pl *Platform) RunCallers(callers []string, think sim.Duration) ([]RequestStats, error) {
 	if len(pl.containers) < 1 {
-		return nil, fmt.Errorf("faas: no containers")
+		return nil, ErrNoContainers
 	}
 	if len(callers) == 0 {
 		return nil, fmt.Errorf("faas: empty caller sequence")

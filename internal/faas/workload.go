@@ -19,7 +19,7 @@ import (
 // which the paper's 1,200-invocation averages amortize away.
 func (pl *Platform) RunClosedLoop(requests int, think sim.Duration) ([]RequestStats, error) {
 	if len(pl.containers) < 1 {
-		return nil, fmt.Errorf("faas: no containers")
+		return nil, ErrNoContainers
 	}
 	c := pl.containers[0]
 	out := make([]RequestStats, 0, requests)

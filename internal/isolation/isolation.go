@@ -280,6 +280,16 @@ func (s *forkStrategy) BeginRequest(meter *sim.Meter) (*kernel.Process, error) {
 	return child, nil
 }
 
+// Release reaps a child orphaned by a mid-request crash: the parent's own
+// exit does not free the forked child's address space, so a torn-down
+// container must discard any in-flight child or its frames leak.
+func (s *forkStrategy) Release() {
+	if s.child != nil {
+		s.kern.Exit(s.child)
+		s.child = nil
+	}
+}
+
 func (s *forkStrategy) EndRequest() (CleanupResult, error) {
 	if s.child == nil {
 		return CleanupResult{}, fmt.Errorf("isolation: EndRequest without BeginRequest")

@@ -54,6 +54,7 @@ import (
 //	PlatformOverhead          controller+LB+invoker platform path (§5.3)          seed   24 ms
 //	EnvInstantiation          container image/cgroup/netns setup (Fig. 1)         seed   350 ms
 //	RuntimeInitBase           runtime initialization floor (Fig. 1)               seed   80 ms
+//	ChecksumPerPage           FNV accumulation per page (image integrity)         PR 6   160 ns
 type CostModel struct {
 	// VM holds per-access and per-fault costs (see vm.Costs).
 	VM vm.Costs
@@ -142,6 +143,12 @@ type CostModel struct {
 	// Container cold-start phases (Fig. 1).
 	EnvInstantiation sim.Duration
 	RuntimeInitBase  sim.Duration
+
+	// ChecksumPerPage is the per-page cost of accumulating the snapshot
+	// image integrity checksum (a fast 64-bit hash over a 4 KiB page). It
+	// is charged only on fault-armed platforms: on export when the checksum
+	// is recorded, and on clone when the image is re-verified.
+	ChecksumPerPage sim.Duration
 }
 
 // Default returns the calibrated cost model used by all experiments.
@@ -199,5 +206,7 @@ func Default() CostModel {
 		PlatformOverhead: 24 * time.Millisecond,
 		EnvInstantiation: 350 * time.Millisecond,
 		RuntimeInitBase:  80 * time.Millisecond,
+
+		ChecksumPerPage: 160 * time.Nanosecond,
 	}
 }

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"groundhog/internal/faults"
 	"groundhog/internal/mem"
 	"groundhog/internal/sim"
 	"groundhog/internal/vm"
@@ -41,7 +42,16 @@ func (k *Kernel) SpawnFromImage(img ProcessImage, meter *sim.Meter) (*Process, e
 		return nil, fmt.Errorf("kernel: image has no threads")
 	}
 	sim.ChargeTo(meter, k.Cost.CloneFromSnapshotBase)
-	sim.ChargeTo(meter, k.Cost.ClonePTEPerPage*sim.Duration(len(img.VPNs)))
+
+	// An armed fault plan can abort the spawn partway through mapping the
+	// image's pages; Cut picks the depth so the unwind below is exercised
+	// after any number of CoW mappings (including all of them).
+	failAt := -1
+	var spawnFault error
+	if ferr := k.Faults.Fire(faults.SiteCloneSpawn); ferr != nil {
+		failAt = k.Faults.Cut(faults.SiteCloneSpawn, len(img.VPNs)+1)
+		spawnFault = ferr
+	}
 
 	as, err := vm.NewFromLayout(k.Phys, k.Cost.VM, img.Layout, img.BrkBase, img.Brk, img.MmapBase)
 	if err != nil {
@@ -50,11 +60,20 @@ func (k *Kernel) SpawnFromImage(img ProcessImage, meter *sim.Meter) (*Process, e
 	p := &Process{PID: k.nextPID, AS: as, kern: k, alive: true}
 	k.nextPID++
 	for i, vpn := range img.VPNs {
+		if i == failAt {
+			as.Release()
+			return nil, fmt.Errorf("kernel: spawn from image aborted after %d of %d pages: %w", i, len(img.VPNs), spawnFault)
+		}
 		if err := as.MapFrameCoW(vpn, img.Frames[i]); err != nil {
 			// Unwind the partial clone so the frame pool stays balanced.
 			as.Release()
 			return nil, err
 		}
+		sim.ChargeTo(meter, k.Cost.ClonePTEPerPage)
+	}
+	if failAt == len(img.VPNs) {
+		as.Release()
+		return nil, fmt.Errorf("kernel: spawn from image aborted after all %d pages: %w", len(img.VPNs), spawnFault)
 	}
 	for _, regs := range img.Regs {
 		t := p.SpawnThread()

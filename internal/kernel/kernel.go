@@ -11,6 +11,7 @@ package kernel
 import (
 	"fmt"
 
+	"groundhog/internal/faults"
 	"groundhog/internal/mem"
 	"groundhog/internal/sim"
 	"groundhog/internal/vm"
@@ -83,6 +84,13 @@ func (p *Process) SpawnThread() *Thread {
 type Kernel struct {
 	Phys *mem.PhysMem
 	Cost CostModel
+
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// kernel's own seams (SpawnFromImage) and is consulted by the layers
+	// above (core, faas) so a single plan governs the whole stack. The nil
+	// default leaves every seam zero-cost: no randomness is consumed and no
+	// virtual time is charged.
+	Faults *faults.Injector
 
 	procs   map[int]*Process
 	nextPID int

@@ -288,6 +288,31 @@ func (p *PhysMem) Bytes(id FrameID) int {
 	return PageSize
 }
 
+// fnv1a64 hashes b with 64-bit FNV-1a.
+func fnv1a64(b []byte) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// zeroChecksum is the FNV-1a hash of an all-zero page, so lazily-zero
+// frames checksum identically to materialized all-zero frames.
+var zeroChecksum = fnv1a64(zeroPage[:])
+
+// Checksum returns a 64-bit FNV-1a hash of the frame's contents. The
+// snapshot-image integrity check uses it to detect frame corruption between
+// export and clone.
+func (p *PhysMem) Checksum(id FrameID) uint64 {
+	f := p.get(id)
+	if f.data == nil {
+		return zeroChecksum
+	}
+	return fnv1a64(f.data)
+}
+
 // InUse reports the number of live frames.
 func (p *PhysMem) InUse() int { return p.inUse }
 

@@ -126,6 +126,15 @@ func (s *Summary) Percentile(p float64) float64 {
 // Median returns the 50th percentile.
 func (s *Summary) Median() float64 { return s.Percentile(50) }
 
+// P99 returns the 99th percentile — the tail figure SLO dashboards and the
+// failure benchmarks report alongside the mean.
+func (s *Summary) P99() float64 { return s.Percentile(99) }
+
+// P999 returns the 99.9th percentile: the deep tail, where rare events —
+// a retried cold start, a crash-and-requeue — surface even when the p99
+// barely moves.
+func (s *Summary) P999() float64 { return s.Percentile(99.9) }
+
 // Min returns the smallest sample.
 func (s *Summary) Min() float64 {
 	if len(s.samples) == 0 {

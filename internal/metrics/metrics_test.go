@@ -101,6 +101,54 @@ func TestPercentileTable(t *testing.T) {
 	}
 }
 
+func TestTailPercentiles(t *testing.T) {
+	cases := []struct {
+		name      string
+		samples   []float64
+		p99, p999 float64
+	}{
+		// 1..1000: p99 rank 989.01 interpolates 990..991, p999 rank
+		// 998.001 interpolates 999..1000.
+		{"ramp1000", ramp1(1000), 990.01, 999.001},
+		// One outlier in ten samples: both tails interpolate toward it,
+		// p999 almost reaching it (ranks 8.91 and 8.991).
+		{"outlier", []float64{1000, 1, 1, 1, 1, 1, 1, 1, 1, 1}, 910.09, 991.009},
+		// A single sample is every percentile.
+		{"n1", []float64{42}, 42, 42},
+		{"const", []float64{5, 5, 5, 5}, 5, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Summary
+			for _, v := range tc.samples {
+				s.Add(v)
+			}
+			if got := s.P99(); math.Abs(got-tc.p99) > 1e-9 {
+				t.Fatalf("P99 = %v, want %v", got, tc.p99)
+			}
+			if got := s.P999(); math.Abs(got-tc.p999) > 1e-9 {
+				t.Fatalf("P999 = %v, want %v", got, tc.p999)
+			}
+			if s.P999() < s.P99() {
+				t.Fatal("P999 below P99")
+			}
+		})
+	}
+	var empty Summary
+	if empty.P99() != 0 || empty.P999() != 0 {
+		t.Fatal("empty summary tails not zero")
+	}
+}
+
+// ramp1 returns 1..n in reverse order.
+func ramp1(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(n - i)
+	}
+	return out
+}
+
 // ramp returns 0..n-1 in reverse order (exercising the lazy sort).
 func ramp(n int) []float64 {
 	out := make([]float64, n)

@@ -206,6 +206,15 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := dep.platform.InvokeOnce(caller)
 	if err != nil {
+		// Transient failures — an empty pool, a crashed container, an
+		// exhausted cold-start retry budget — are the client's cue to retry,
+		// not a server bug: 503 with a Retry-After, like a real invoker
+		// shedding load during a failure burst.
+		if faas.IsTransient(err) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -311,6 +320,18 @@ type DeploymentInfo struct {
 	E2EMeanMS float64 `json:"e2e_mean_ms"`
 	E2EP50MS  float64 `json:"e2e_p50_ms"`
 	E2EP95MS  float64 `json:"e2e_p95_ms"`
+	E2EP99MS  float64 `json:"e2e_p99_ms"`
+
+	// Recovery counters (faas.RecoveryStats): how often this deployment's
+	// failures were absorbed — cold-start retries, clone→pipeline
+	// fallbacks, crashes, post-response restore faults, integrity
+	// failures, quarantined donors. All zero on a fault-free platform.
+	ColdStartRetries       int `json:"cold_start_retries"`
+	CloneFallbacks         int `json:"clone_fallbacks"`
+	Crashes                int `json:"crashes"`
+	RestoreFaults          int `json:"restore_faults"`
+	ImageIntegrityFailures int `json:"image_integrity_failures"`
+	DonorsQuarantined      int `json:"donors_quarantined"`
 
 	// Policies reports each built-in scheduling policy's decisions against
 	// the deployment's current signals (idle time taken from its idlest
@@ -356,7 +377,16 @@ func (dep *deployment) describe() DeploymentInfo {
 		info.E2EMeanMS = e2e.Mean()
 		info.E2EP50MS = e2e.Percentile(50)
 		info.E2EP95MS = e2e.Percentile(95)
+		info.E2EP99MS = e2e.P99()
 	}
+
+	rec := pl.Recovery()
+	info.ColdStartRetries = rec.ColdStartRetries
+	info.CloneFallbacks = rec.CloneFallbacks
+	info.Crashes = rec.Crashes
+	info.RestoreFaults = rec.RestoreFaults
+	info.ImageIntegrityFailures = rec.ImageIntegrityFailures
+	info.DonorsQuarantined = rec.DonorsQuarantined
 
 	// The policies read a signal set assembled from the platform's
 	// cumulative view. It approximates (but is not identical to) what a

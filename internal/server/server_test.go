@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"groundhog/internal/faults"
 )
 
 func testServer(t *testing.T) (*Server, *httptest.Server) {
@@ -293,9 +295,41 @@ func TestConcurrentInvokes(t *testing.T) {
 	}
 }
 
+// TestInjectedCrashAnswers503 arms a one-shot request-crash fault on a live
+// deployment: the crashed invocation must surface as 503 + Retry-After (the
+// request is retryable — the platform tore the container down), the next
+// invocation must succeed again after the pool rebuilds, and /deployments
+// must report the crash in its recovery counters.
+func TestInjectedCrashAnswers503(t *testing.T) {
+	s, ts := testServer(t)
+	u := ts.URL + "/invoke?fn=" + url.QueryEscape("version (p)") + "&mode=gh"
+	post(t, u, nil) // deploy + first request
+
+	dep := s.deployments["version (p)|gh"]
+	dep.platform.Kern.Faults = faults.New(faults.Plan{
+		Seed:     1,
+		Schedule: map[faults.Site][]uint64{faults.SiteRequestCrash: {1}},
+	})
+
+	resp := post(t, u, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("crashed invoke: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without a Retry-After header")
+	}
+
+	var deps []DeploymentInfo
+	get(t, ts.URL+"/deployments", &deps)
+	if len(deps) != 1 || deps[0].Crashes != 1 {
+		t.Fatalf("deployment listing after crash = %+v, want crashes=1", deps)
+	}
+}
+
 // TestZeroContainerDeployment: a platform drained by keep-alive expiry
 // (RemoveContainer) must not panic the handlers — /deployments reports a
-// zero cold start and /invoke fails with a 500, not a crash.
+// zero cold start, and /invoke answers 503 + Retry-After (an empty pool is
+// a transient condition the client should retry, not a server bug).
 func TestZeroContainerDeployment(t *testing.T) {
 	s, ts := testServer(t)
 	u := ts.URL + "/invoke?fn=" + url.QueryEscape("version (p)") + "&mode=gh"
@@ -314,8 +348,12 @@ func TestZeroContainerDeployment(t *testing.T) {
 	if len(deps) != 1 || deps[0].ColdStartMS != 0 {
 		t.Fatalf("zero-container deployment listing = %+v, want one entry with zero cold start", deps)
 	}
-	if resp := post(t, u, nil); resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("invoke on drained platform: status %d, want 500", resp.StatusCode)
+	resp := post(t, u, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("invoke on drained platform: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without a Retry-After header")
 	}
 }
 

@@ -54,6 +54,14 @@ type Signals struct {
 	// SLOTargetMs is the function's p95 E2E target (FunctionLoad.SLOTargetMs,
 	// falling back to Config.SLOTargetMs; 0 = no target configured).
 	SLOTargetMs float64
+	// Crashes is the cumulative count of this function's container failures
+	// so far — mid-request crashes plus event-driven crash waves. Cheap to
+	// maintain, so SignalFree policies see it too.
+	Crashes int
+	// CrashRatePerSec estimates the recent container-crash rate over the
+	// crash observation ring (0 with no recent crashes). A spike tells an
+	// adaptive policy to over-provision while a failure burst lasts.
+	CrashRatePerSec float64
 	// Memory is the deployment's current memory accounting. FramesInUse is
 	// host-wide on shared-kernel fleets. Populating it costs a walk over
 	// every resident page, so the fleet skips it for policies declaring

@@ -11,13 +11,16 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"groundhog/internal/catalog"
 	"groundhog/internal/core"
 	"groundhog/internal/faas"
+	"groundhog/internal/faults"
 	"groundhog/internal/isolation"
 	"groundhog/internal/kernel"
 	"groundhog/internal/metrics"
@@ -85,6 +88,45 @@ type Config struct {
 	// snapshotting strategy; the zero value is the paper's eager copy
 	// store.
 	Store core.StoreKind
+
+	// Faults arms deterministic fault injection across every layer of the
+	// fleet's stack — kernel spawn-from-image, core export/restore, faas
+	// cold starts and requests (see internal/faults). The zero Plan leaves
+	// every seam disarmed: the run is bit-identical to a fleet without this
+	// field.
+	Faults faults.Plan
+
+	// Events schedules fleet-level failure events at fixed offsets into the
+	// window — container-crash waves, image corruption, drains. Events are
+	// independent of the fault plan: they fire even on a disarmed fleet.
+	Events []Event
+}
+
+// EventKind selects a fleet failure event.
+type EventKind string
+
+// The fleet failure events.
+const (
+	// EventCrashWave kills every targeted container at once (a host-level
+	// incident); queued and future requests recover through cold starts.
+	EventCrashWave EventKind = "crash-wave"
+	// EventCorruptImage marks the targeted functions' exported snapshot
+	// images corrupted; the next clone attempt detects the checksum
+	// mismatch, evicts the image, and falls back to the full pipeline.
+	EventCorruptImage EventKind = "corrupt-image"
+	// EventDrain gracefully removes the targeted containers and evicts
+	// their images (host maintenance); the pools rebuild on demand.
+	EventDrain EventKind = "drain"
+)
+
+// Event is one scheduled fleet failure.
+type Event struct {
+	// At is the event's offset into the window (0 <= At < Window).
+	At sim.Duration
+	// Kind selects the failure.
+	Kind EventKind
+	// Function targets one function by display name; empty targets all.
+	Function string
 }
 
 // Validate checks the configuration.
@@ -107,12 +149,29 @@ func (c Config) Validate() error {
 	if c.SLOTargetMs < 0 {
 		return fmt.Errorf("trace: negative SLO target")
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	for _, ev := range c.Events {
+		if ev.At < 0 || sim.Time(ev.At) >= sim.Time(c.Window) {
+			return fmt.Errorf("trace: event %q at %v outside the window", ev.Kind, ev.At)
+		}
+		switch ev.Kind {
+		case EventCrashWave, EventCorruptImage, EventDrain:
+		default:
+			return fmt.Errorf("trace: unknown event kind %q", ev.Kind)
+		}
+	}
 	return nil
 }
 
 // FunctionStats aggregates one function's outcomes.
 type FunctionStats struct {
-	Name     string
+	Name string
+	// Arrived counts every request that entered the queue; after the drain,
+	// Arrived == Requests is the no-request-silently-dropped invariant —
+	// crashes and cold-start faults delay requests, they never lose them.
+	Arrived  int
 	Requests int
 	// ColdStarts counts every scale-up (FullColdStarts + CloneColdStarts).
 	ColdStarts int
@@ -131,6 +190,27 @@ type FunctionStats struct {
 	// paying for itself.
 	ScaledToZero  int
 	ImagesEvicted int
+
+	// Failure and recovery accounting (all zero on a fault-free run).
+	// Crashes counts containers lost mid-request (the request retried on
+	// another container); RestoreFaults counts containers lost to a failed
+	// post-response restore (the response was already delivered).
+	Crashes       int
+	RestoreFaults int
+	// ColdStartRetries / RetryBackoff / CloneFallbacks / DonorsQuarantined /
+	// ImageIntegrityFailures mirror the platform's RecoveryStats: in-pipeline
+	// retries (and their summed backoff), clone attempts that fell back to
+	// the full pipeline, donors quarantined after repeated clone failures,
+	// and checksum mismatches detected at clone time.
+	ColdStartRetries       int
+	RetryBackoff           sim.Duration
+	CloneFallbacks         int
+	DonorsQuarantined      int
+	ImageIntegrityFailures int
+	// EventCrashes and Drained count containers removed by scheduled
+	// crash-wave and drain events.
+	EventCrashes int
+	Drained      int
 
 	E2E   metrics.Summary // ms, including queueing and cold-start waits
 	Queue metrics.Summary // ms waiting for a container
@@ -176,7 +256,31 @@ func (r *Result) Function(name string) (*FunctionStats, bool) {
 const (
 	arrivalWindow = 64
 	latencyWindow = 128
+	// crashWindow bounds the crash-timestamp ring behind
+	// Signals.CrashRatePerSec.
+	crashWindow = 32
 )
+
+// dispatchRetryBase and dispatchRetryMax bound the dispatcher's backoff when
+// a scale-up fails even after the platform's own retry budget: the queue is
+// held and re-dispatched later rather than the fleet erroring out.
+const (
+	dispatchRetryBase = 20 * time.Millisecond
+	dispatchRetryMax  = 500 * time.Millisecond
+)
+
+// retryDispatchDelay is the dispatcher's exponential backoff schedule for
+// consecutive failed scale-ups.
+func retryDispatchDelay(streak int) sim.Duration {
+	d := sim.Duration(dispatchRetryBase)
+	for i := 1; i < streak; i++ {
+		d *= 2
+		if d >= sim.Duration(dispatchRetryMax) {
+			return sim.Duration(dispatchRetryMax)
+		}
+	}
+	return d
+}
 
 // fnState is the dispatcher's view of one deployed function.
 type fnState struct {
@@ -194,6 +298,12 @@ type fnState struct {
 	// the windowed latency signals.
 	recentE2E []float64
 	recentSvc []float64
+	// crashTimes is a drop-oldest ring of recent container-crash timestamps
+	// backing the policy's crash-rate signal.
+	crashTimes []sim.Time
+	// coldFailStreak counts consecutive failed scale-ups; it drives the
+	// dispatcher's backoff and resets on the first success.
+	coldFailStreak int
 	// sloTargetMs is the resolved per-function target (load override, then
 	// the fleet-wide default).
 	sloTargetMs float64
@@ -208,6 +318,11 @@ func (fs *fnState) observeArrival(t sim.Time) {
 func (fs *fnState) observeLatency(e2eMs, svcMs float64) {
 	fs.recentE2E = metrics.PushBounded(fs.recentE2E, e2eMs, latencyWindow)
 	fs.recentSvc = metrics.PushBounded(fs.recentSvc, svcMs, latencyWindow)
+}
+
+// observeCrash records one container crash in the crash-rate ring.
+func (fs *fnState) observeCrash(t sim.Time) {
+	fs.crashTimes = metrics.PushBounded(fs.crashTimes, t, crashWindow)
 }
 
 // Fleet runs a multi-function workload and reports per-function and
@@ -250,6 +365,9 @@ func NewFleet(cfg Config, loads []FunctionLoad) (*Fleet, error) {
 		engine: sim.NewEngine(),
 		kern:   kernel.New(cfg.Cost),
 	}
+	// Arm the shared kernel's fault seams. A zero plan yields a nil injector,
+	// so a fault-free fleet stays bit-identical to one without the field.
+	f.kern.Faults = faults.New(cfg.Faults)
 	if f.policy == nil {
 		f.policy = FixedTTL{KeepAlive: cfg.KeepAlive, ScaleToZeroAfter: cfg.ScaleToZeroAfter}
 	}
@@ -285,6 +403,21 @@ func NewFleet(cfg Config, loads []FunctionLoad) (*Fleet, error) {
 			sloTargetMs: target,
 		})
 	}
+	for _, ev := range cfg.Events {
+		if ev.Function == "" {
+			continue
+		}
+		known := false
+		for _, fs := range f.fns {
+			if fs.stats.Name == ev.Function {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("trace: event %q targets unknown function %q", ev.Kind, ev.Function)
+		}
+	}
 	return f, nil
 }
 
@@ -313,8 +446,14 @@ func (f *Fleet) signals(fs *fnState, now sim.Time) Signals {
 			sig.Warming++
 		}
 	}
+	sig.Crashes = fs.stats.Crashes + fs.stats.EventCrashes
 	if f.signalFree {
 		return sig
+	}
+	if n := len(fs.crashTimes); n > 0 {
+		if span := now.Sub(fs.crashTimes[0]); span > 0 {
+			sig.CrashRatePerSec = float64(n) / span.Seconds()
+		}
 	}
 	sig.CloneReady = fs.platform.CloneSourceReady()
 	if _, free := f.policy.(MemoryFree); !free {
@@ -381,11 +520,18 @@ func (f *Fleet) Run() (*Result, error) {
 			if !f.signalFree {
 				fs.observeArrival(f.engine.Now())
 			}
+			fs.stats.Arrived++
 			fs.queue = append(fs.queue, f.engine.Now())
 			f.dispatch(fs)
 			f.engine.After(fs.interarrival(), arrive)
 		}
 		f.engine.After(fs.interarrival(), arrive)
+	}
+
+	// Scheduled failure events.
+	for _, ev := range f.cfg.Events {
+		ev := ev
+		f.engine.At(sim.Time(ev.At), func() { f.applyEvent(ev) })
 	}
 
 	// Policy tick: sample the frame integral, then let the policy reap
@@ -421,6 +567,14 @@ func (f *Fleet) Run() (*Result, error) {
 		res.MeanFrames = f.frameArea / float64(deadline)
 	}
 	for _, fs := range f.fns {
+		// Fold the platform's recovery counters into the per-function stats;
+		// Crashes and RestoreFaults were already counted on the dispatch path.
+		rec := fs.platform.Recovery()
+		fs.stats.ColdStartRetries = rec.ColdStartRetries
+		fs.stats.RetryBackoff = rec.RetryBackoff
+		fs.stats.CloneFallbacks = rec.CloneFallbacks
+		fs.stats.DonorsQuarantined = rec.DonorsQuarantined
+		fs.stats.ImageIntegrityFailures = rec.ImageIntegrityFailures
 		res.PerFunction = append(res.PerFunction, fs.stats)
 	}
 	sort.Slice(res.PerFunction, func(i, j int) bool {
@@ -555,10 +709,20 @@ func (f *Fleet) dispatch(fs *fnState) {
 				for i := 0; i < n; i++ {
 					nc, err := fs.platform.AddContainer()
 					if err != nil {
+						if faas.IsTransient(err) {
+							// The platform's own retry budget is already
+							// spent; hold the queue and re-dispatch after a
+							// backoff instead of killing the fleet — faults
+							// delay requests, they must not drop them.
+							fs.coldFailStreak++
+							f.engine.After(retryDispatchDelay(fs.coldFailStreak), func() { f.dispatch(fs) })
+							return
+						}
 						f.err = err
 						f.engine.Stop()
 						return
 					}
+					fs.coldFailStreak = 0
 					cold := nc.ColdStart()
 					fs.stats.ColdStarts++
 					fs.stats.ColdStartCost += cold.Total
@@ -580,14 +744,24 @@ func (f *Fleet) dispatch(fs *fnState) {
 			}
 			return
 		}
+		// Peek, serve, then pop: a mid-request crash leaves the request at
+		// the head of the queue to retry on another container (or a fresh
+		// cold start) — it is only consumed once a response was delivered.
 		arrived := fs.queue[0]
-		fs.queue = fs.queue[1:]
 		st, err := fs.platform.Serve(c, "")
 		if err != nil {
+			if errors.Is(err, faas.ErrContainerCrashed) {
+				fs.stats.Crashes++
+				if !f.signalFree {
+					fs.observeCrash(now)
+				}
+				continue
+			}
 			f.err = err
 			f.engine.Stop()
 			return
 		}
+		fs.queue = fs.queue[1:]
 		wait := now.Sub(arrived)
 		fs.stats.Requests++
 		fs.stats.E2E.AddDuration(st.E2E + wait)
@@ -598,10 +772,78 @@ func (f *Fleet) dispatch(fs *fnState) {
 		if st.Restored {
 			fs.stats.Restores++
 		}
+		if st.ContainerLost {
+			fs.stats.RestoreFaults++
+		}
 		// When this container frees up, it may drain more queue.
 		f.engine.At(st.ReadyAgain, func() { f.dispatch(fs) })
 	}
 }
+
+// applyEvent executes one scheduled failure event against every targeted
+// function, then re-dispatches: a crash wave's queued requests must start
+// their recovery cold starts at the event's time, not the next arrival's.
+func (f *Fleet) applyEvent(ev Event) {
+	if f.err != nil {
+		return
+	}
+	for _, fs := range f.fns {
+		if ev.Function != "" && fs.stats.Name != ev.Function {
+			continue
+		}
+		switch ev.Kind {
+		case EventCrashWave:
+			for {
+				cs := fs.platform.Containers()
+				if len(cs) == 0 {
+					break
+				}
+				fs.platform.RemoveContainer(cs[0])
+				fs.stats.EventCrashes++
+				if !f.signalFree {
+					fs.observeCrash(f.engine.Now())
+				}
+			}
+		case EventCorruptImage:
+			fs.platform.CorruptImage()
+		case EventDrain:
+			for {
+				cs := fs.platform.Containers()
+				if len(cs) == 0 {
+					break
+				}
+				fs.platform.RemoveContainer(cs[0])
+				fs.stats.Drained++
+			}
+			if fs.platform.EvictImage() {
+				fs.stats.ImagesEvicted++
+			}
+		}
+		f.dispatch(fs)
+	}
+}
+
+// Teardown removes every container and evicts every deployment's snapshot
+// image, then reports the kernel's remaining in-use frame count. On a
+// leak-free fleet — any fault plan, any event schedule — the answer is the
+// kernel's baseline (0): every frame a partial or crashed operation touched
+// was released.
+func (f *Fleet) Teardown() int {
+	for _, fs := range f.fns {
+		for {
+			cs := fs.platform.Containers()
+			if len(cs) == 0 {
+				break
+			}
+			fs.platform.RemoveContainer(cs[0])
+		}
+		fs.platform.EvictImage()
+	}
+	return f.kern.Phys.InUse()
+}
+
+// Kernel exposes the fleet's shared kernel (frame accounting assertions).
+func (f *Fleet) Kernel() *kernel.Kernel { return f.kern }
 
 // pickReady returns a container that can serve right now, or nil.
 func (f *Fleet) pickReady(fs *fnState, now sim.Time) *faas.Container {
