@@ -30,6 +30,7 @@ var experimentNames = []string{
 	"ablation-uffd", "ablation-coalesce", "ablation-trust", "ablation-statestore",
 	"ablation-timevirt", "loadsweep", "related-work", "fleet", "bench-restore",
 	"bench-coldstart", "bench-fleet", "bench-policy", "bench-faults",
+	"bench-fleet-xl",
 }
 
 func main() {
@@ -50,6 +51,8 @@ func main() {
 		"output path for the bench-policy JSON summary (empty disables)")
 	flag.StringVar(&faultsJSONPath, "faults-json", "BENCH_faults.json",
 		"output path for the bench-faults JSON summary (empty disables)")
+	flag.StringVar(&fleetXLJSONPath, "fleet-xl-json", "BENCH_fleet_xl.json",
+		"output path for the bench-fleet-xl JSON summary (empty disables)")
 	flag.Parse()
 
 	if *list {
@@ -182,6 +185,8 @@ func run(cfg experiments.Config, names []string, quick bool) error {
 			tb, err = benchPolicy(cfg, quick)
 		case "bench-faults":
 			tb, err = benchFaults(cfg, quick)
+		case "bench-fleet-xl":
+			tb, err = benchFleetXL(cfg, quick)
 		default:
 			return fmt.Errorf("unknown experiment %q (try -list)", name)
 		}
@@ -309,4 +314,25 @@ func benchFaults(cfg experiments.Config, quick bool) (*metrics.Table, error) {
 		return nil, err
 	}
 	return experiments.FaultsBenchTable(res), nil
+}
+
+// fleetXLJSONPath is where benchFleetXL writes its summary.
+var fleetXLJSONPath string
+
+// benchFleetXL runs the million-request engine benchmark — 24 functions
+// with bursty and diurnal arrival mixes on one sketch-backed
+// clone-scale-out fleet — and writes BENCH_fleet_xl.json so CI can gate
+// the engine itself: retained allocations per request (tight "allocs"
+// rule), simulated requests/sec (one-sided floor), and the deterministic
+// fleet outputs (identity/drift rules). quick shrinks the window for
+// local smoke runs; the committed baseline uses the full window.
+func benchFleetXL(cfg experiments.Config, quick bool) (*metrics.Table, error) {
+	res, err := experiments.FleetXLBench(cfg, quick)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeBenchJSON(fleetXLJSONPath, []experiments.FleetXLBenchResult{res}); err != nil {
+		return nil, err
+	}
+	return experiments.FleetXLBenchTable(res), nil
 }

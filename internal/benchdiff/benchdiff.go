@@ -19,7 +19,13 @@
 //   - invariant counters ("leaked_frames", "lost_requests" from the
 //     fault-injection suite): must match the baseline exactly — the
 //     baseline pins them at zero, so any change is a recovery bug;
-//   - identity strings (benchmark/tracker/mode names): must match exactly;
+//   - throughput floors (name contains "per_sec"): wall-clock dependent,
+//     so they are gated one-sided with a generous margin — only a collapse
+//     below PerSecFloorRatio of the baseline fails (an engine regression
+//     of several-fold, not machine jitter); improvements always pass;
+//   - identity strings (benchmark/tracker/mode names) and booleans (e.g.
+//     the fleet-xl wall-budget and million-request flags): must match
+//     exactly;
 //   - wall-clock and byte counters: machine-dependent, informational only.
 //
 // A baseline leaf missing from the current run fails; metrics added by new
@@ -41,6 +47,14 @@ const AllocSlack = 0.5
 // DefaultMaxDrift is the default relative tolerance for deterministic
 // virtual-cost and frame-count metrics.
 const DefaultMaxDrift = 0.25
+
+// PerSecFloorRatio is the one-sided floor on throughput metrics (leaf name
+// contains "per_sec"): the current value must stay above this fraction of
+// the baseline. Throughput is wall-clock dependent, so the margin is
+// deliberately wide — a violation means the engine got several times
+// slower, not that the CI machine had a noisy neighbor. Improvements
+// always pass (re-baseline to ratchet the floor up).
+const PerSecFloorRatio = 0.25
 
 // Violation is one failed comparison.
 type Violation struct {
@@ -151,6 +165,11 @@ func check(path string, bv, cv any, maxDrift float64) (Violation, bool) {
 		if cn > bn+AllocSlack {
 			return Violation{Path: path, Baseline: fmtNum(bn), Current: fmtNum(cn),
 				Reason: "allocation-count regression"}, true
+		}
+	case strings.Contains(name, "per_sec"):
+		if cn < bn*PerSecFloorRatio {
+			return Violation{Path: path, Baseline: fmtNum(bn), Current: fmtNum(cn),
+				Reason: fmt.Sprintf("throughput collapsed below %.0f%% of baseline", PerSecFloorRatio*100)}, true
 		}
 	case strings.HasSuffix(name, "_us") || strings.Contains(name, "virtual") ||
 		strings.HasSuffix(name, "frames_in_use") || name == "end_frames":

@@ -201,3 +201,67 @@ func TestMalformedJSONRejected(t *testing.T) {
 		t.Fatal("malformed current accepted")
 	}
 }
+
+// perSecDoc mirrors the engine-speed surface of BENCH_fleet_xl.json: a
+// throughput floor, a boolean wall-budget flag, and an informational
+// wall-clock figure.
+const perSecDoc = `[
+  {
+    "benchmark": "fleet-xl-million",
+    "engine_wall_seconds": 11.5,
+    "engine_requests_per_sec": 100000,
+    "engine_retained_allocs_per_request": 0.001,
+    "completed_under_30s_wall": true,
+    "reached_million_requests": true
+  }
+]`
+
+func comparePerSec(t *testing.T, cur string) []Violation {
+	t.Helper()
+	vs, err := Compare([]byte(perSecDoc), []byte(cur), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}
+
+func TestThroughputFloorOneSided(t *testing.T) {
+	// Within the floor (half the baseline) and above it (faster): both pass.
+	for _, cur := range []string{
+		strings.Replace(perSecDoc, `"engine_requests_per_sec": 100000`, `"engine_requests_per_sec": 50000`, 1),
+		strings.Replace(perSecDoc, `"engine_requests_per_sec": 100000`, `"engine_requests_per_sec": 400000`, 1),
+	} {
+		if vs := comparePerSec(t, cur); len(vs) != 0 {
+			t.Fatalf("throughput within the one-sided floor flagged: %v", vs)
+		}
+	}
+	// A collapse below PerSecFloorRatio fails.
+	cur := strings.Replace(perSecDoc, `"engine_requests_per_sec": 100000`, `"engine_requests_per_sec": 20000`, 1)
+	vs := comparePerSec(t, cur)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "throughput") {
+		t.Fatalf("throughput collapse not flagged: %v", vs)
+	}
+}
+
+func TestWallBudgetFlagIdentityGated(t *testing.T) {
+	// Wall seconds are informational...
+	cur := strings.Replace(perSecDoc, `"engine_wall_seconds": 11.5`, `"engine_wall_seconds": 28.9`, 1)
+	if vs := comparePerSec(t, cur); len(vs) != 0 {
+		t.Fatalf("wall-clock change flagged: %v", vs)
+	}
+	// ...but the boolean budget flag flipping is a hard failure.
+	cur = strings.Replace(perSecDoc, `"completed_under_30s_wall": true`, `"completed_under_30s_wall": false`, 1)
+	vs := comparePerSec(t, cur)
+	if len(vs) != 1 || !strings.Contains(vs[0].Path, "completed_under_30s_wall") {
+		t.Fatalf("wall-budget flag flip not flagged: %v", vs)
+	}
+}
+
+func TestRetainedAllocsPerRequestGated(t *testing.T) {
+	cur := strings.Replace(perSecDoc,
+		`"engine_retained_allocs_per_request": 0.001`, `"engine_retained_allocs_per_request": 1.2`, 1)
+	vs := comparePerSec(t, cur)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "allocation") {
+		t.Fatalf("retained-alloc regression not flagged: %v", vs)
+	}
+}

@@ -271,11 +271,9 @@ func (m *Manager) TakeSnapshot() (SnapshotStats, error) {
 		sim.ChargeTo(meter, m.kern.Cost.ResidentScanPerPage*sim.Duration(len(sc.present)))
 	} else {
 		for _, v := range layout {
-			sc.flags = m.fs.PagemapRange(m.proc, v.Start, v.End, meter, sc.flags[:0])
-			for _, pf := range sc.flags {
-				if pf.Present {
-					sc.present = append(sc.present, pf.VPN)
-				}
+			sc.pm = m.fs.PagemapRangePresent(m.proc, v.Start, v.End, meter, sc.pm[:0])
+			for _, pf := range sc.pm {
+				sc.present = append(sc.present, pf.VPN)
 			}
 		}
 	}

@@ -6,7 +6,6 @@ import (
 
 	"groundhog/internal/faults"
 	"groundhog/internal/mem"
-	"groundhog/internal/procfs"
 	"groundhog/internal/sim"
 	"groundhog/internal/vm"
 )
@@ -117,6 +116,23 @@ func diffLayouts(cur, snap []vm.VMA) layoutDiff {
 	return sc.diff(cur, snap)
 }
 
+// layoutsEqual reports whether two sorted region lists are identical —
+// every VMA equal in range, protection, kind, and name. This is the
+// steady-state gate: a request that performed no mmap/munmap/mprotect/brk
+// growth leaves the layout exactly as the snapshot recorded it, and the
+// restore can skip the diff's work (though never its charges).
+func layoutsEqual(cur, snap []vm.VMA) bool {
+	if len(cur) != len(snap) {
+		return false
+	}
+	for i := range cur {
+		if cur[i] != snap[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func dedupAddrs(in []vm.Addr) []vm.Addr {
 	out := in[:0]
 	for i, a := range in {
@@ -161,13 +177,13 @@ func runsOf(vpns []uint64) []vpnRun {
 // TestRestoreUffdSteadyStateZeroAllocs.
 type restoreScratch struct {
 	meter   *sim.Meter
-	layout  []vm.VMA           // current memory map
-	flags   []procfs.PageFlags // one VMA's pagemap entries at a time
-	dirty   []uint64           // sorted soft-dirty VPNs
-	present []uint64           // sorted resident VPNs
-	fresh   []uint64           // resident, not in snapshot, inside surviving regions
-	restore []int              // store indices whose contents must be copied back
-	runs    []vpnRun           // coalesced madvise runs
+	layout  []vm.VMA          // current memory map
+	pm      []vm.PagemapEntry // one VMA's present pagemap entries at a time
+	dirty   []uint64          // sorted soft-dirty VPNs
+	present []uint64          // sorted resident VPNs
+	fresh   []uint64          // resident, not in snapshot, inside surviving regions
+	restore []int             // store indices whose contents must be copied back
+	runs    []vpnRun          // coalesced madvise runs
 	diff    diffScratch
 }
 
@@ -213,6 +229,20 @@ func (m *Manager) Restore() (RestoreStats, error) {
 	sc.layout = m.fs.MapsRegions(m.proc, meter, sc.layout[:0])
 	curLayout := sc.layout
 
+	// Steady-state fast path: if the request left the layout (and brk)
+	// exactly as the snapshot recorded it and both incremental logs cover
+	// the epoch, everything the remaining phases need is already known —
+	// the diff is empty, the dirty set is in the dirty log, and the only
+	// resident pages that can lie outside the snapshot store are the ones
+	// the fresh log recorded coming in. The fast path exploits that to run
+	// O(dirty + fresh) instead of O(resident), while charging the exact
+	// virtual costs of the scans it skips: the simulated kernel still reads
+	// the pagemap; only the simulator stops re-deriving what it knows.
+	// Layout churn (python/node mmap cycles), mremap moves, and tracking
+	// switches all disarm the gate and fall back to the exact walk below.
+	fast := as.DirtyLogArmed() && as.FreshLogArmed() &&
+		as.BrkValue() == m.snap.brk && layoutsEqual(curLayout, m.snap.layout)
+
 	// 3. Scan page metadata: which pages are resident, which are dirty.
 	// Under soft-dirty tracking this reads the pagemap one mapped region at
 	// a time (never materializing a full-address-space flag slice); under
@@ -220,10 +250,29 @@ func (m *Manager) Restore() (RestoreStats, error) {
 	// request (the address space's dirty log), so reading it costs per
 	// dirty page — but the resident set still has to be checked for newly
 	// paged-in pages, a mincore-style walk charged per resident page.
+	//
+	// On the fast path sc.present holds only the fresh candidates — the
+	// pages that became resident this epoch — because the previous restore
+	// dropped every resident page outside the store, so those candidates
+	// are the only resident pages the madvise phase can possibly need.
 	meter.BeginPhase(PhaseScanPages)
 	sc.dirty, sc.present = sc.dirty[:0], sc.present[:0]
 	var mappedPages int
-	if m.opts.Tracker == TrackUffd {
+	switch {
+	case fast && m.opts.Tracker == TrackUffd:
+		sc.dirty = as.AppendSoftDirtyVPNs(sc.dirty)
+		sc.present = as.AppendFreshVPNs(sc.present)
+		mappedPages = as.MappedPages()
+		sim.ChargeTo(meter, m.kern.Cost.PagemapPerPage*sim.Duration(len(sc.dirty)))
+		sim.ChargeTo(meter, m.kern.Cost.ResidentScanPerPage*sim.Duration(as.ResidentPages()))
+	case fast:
+		sc.dirty = as.AppendSoftDirtyVPNs(sc.dirty)
+		sc.present = as.AppendFreshVPNs(sc.present)
+		for _, v := range curLayout {
+			mappedPages += v.Pages()
+			sim.ChargeTo(meter, m.kern.Cost.PagemapRangeBase+m.kern.Cost.PagemapPerPage*sim.Duration(v.Pages()))
+		}
+	case m.opts.Tracker == TrackUffd:
 		logged := as.DirtyLogArmed()
 		sc.dirty = as.AppendSoftDirtyVPNs(sc.dirty)
 		sc.present = as.AppendResidentVPNs(sc.present)
@@ -238,29 +287,32 @@ func (m *Manager) Restore() (RestoreStats, error) {
 			// in for (which also covers the resident check).
 			sim.ChargeTo(meter, m.kern.Cost.PagemapPerPage*sim.Duration(mappedPages))
 		}
-	} else {
+	default:
 		for _, v := range curLayout {
-			sc.flags = m.fs.PagemapRange(m.proc, v.Start, v.End, meter, sc.flags[:0])
-			mappedPages += len(sc.flags)
-			for _, pf := range sc.flags {
-				if pf.Present {
-					sc.present = append(sc.present, pf.VPN)
-					if pf.SoftDirty {
-						sc.dirty = append(sc.dirty, pf.VPN)
-					}
+			sc.pm = m.fs.PagemapRangePresent(m.proc, v.Start, v.End, meter, sc.pm[:0])
+			mappedPages += v.Pages()
+			for _, pf := range sc.pm {
+				sc.present = append(sc.present, pf.VPN)
+				if pf.SoftDirty {
+					sc.dirty = append(sc.dirty, pf.VPN)
 				}
 			}
 		}
 	}
 
-	// 4. Diff the memory layouts.
+	// 4. Diff the memory layouts. On the fast path the gate already proved
+	// the layouts (and brk) identical, so the diff is empty by
+	// construction; the simulated diff work is charged all the same.
 	meter.BeginPhase(PhaseDiff)
-	diff := sc.diff.diff(curLayout, m.snap.layout)
-	curBrk, err := as.Brk(0)
-	if err != nil {
-		return RestoreStats{}, err
+	var diff layoutDiff
+	if !fast {
+		diff = sc.diff.diff(curLayout, m.snap.layout)
+		curBrk, err := as.Brk(0)
+		if err != nil {
+			return RestoreStats{}, err
+		}
+		diff.brkDelta = curBrk != m.snap.brk
 	}
-	diff.brkDelta = curBrk != m.snap.brk
 	sim.ChargeTo(meter, m.kern.Cost.DiffPerVMA*sim.Duration(len(curLayout)+len(m.snap.layout)))
 
 	stats := RestoreStats{
@@ -300,14 +352,22 @@ func (m *Manager) Restore() (RestoreStats, error) {
 
 	// 6. Madvise newly paged pages: resident now, absent from the snapshot,
 	// inside regions that survive. (Pages in removed regions are already
-	// gone with their munmap.) sc.present is already sorted — pagemap scans
-	// walk regions in address order — so the runs coalesce directly.
+	// gone with their munmap.) sc.present and the store's VPN index are both
+	// sorted, so one linear merge finds the fresh set — no per-page
+	// membership search — and the runs coalesce directly. The same merge
+	// serves the fast path, where sc.present holds only the epoch's fresh
+	// candidates: the previous restore dropped every resident page outside
+	// the store, so pages the fresh log never saw cannot be in this set.
 	meter.BeginPhase(PhaseMadvise)
 	snapLayout := m.snap.layout
 	st := &m.snap.store
 	sc.fresh = sc.fresh[:0]
+	si := 0
 	for _, vpn := range sc.present {
-		if st.has(vpn) {
+		for si < len(st.vpns) && st.vpns[si] < vpn {
+			si++
+		}
+		if si < len(st.vpns) && st.vpns[si] == vpn {
 			continue
 		}
 		if _, ok := lookupVMA(snapLayout, vm.PageAddr(vpn)); ok {
@@ -325,26 +385,54 @@ func (m *Manager) Restore() (RestoreStats, error) {
 
 	// 7. Restore memory contents: every snapshot page that is dirty, or
 	// that lost its frame (madvised away or in a re-created region), gets
-	// its recorded contents back. The dirty list and the store's VPN index
-	// are both sorted, so one linear merge finds the restore set; runs of
-	// contiguous pages then copy back in single batched pokes.
+	// its recorded contents back. The dirty list, the resident set, and the
+	// store's VPN index are all sorted, so one three-way linear merge finds
+	// the restore set — the resident check never touches the page table
+	// (the injected syscalls between the scan and here only drop pages
+	// *outside* the snapshot store, so sc.present is still authoritative
+	// for every store VPN); runs of contiguous pages then copy back in
+	// single batched pokes.
 	meter.BeginPhase(PhaseRestoreMem)
 	phys := m.kern.Phys
 	sc.restore = sc.restore[:0]
-	di := 0
-	for i, vpn := range st.vpns {
-		for di < len(sc.dirty) && sc.dirty[di] < vpn {
-			di++
+	if fast {
+		// In a fast epoch the restore set is exactly the dirty store pages.
+		// The slow path's second clause — non-resident pages with real
+		// content — is empty here: the previous restore re-poked every such
+		// page (leaving non-resident store pages zero-in-snapshot only),
+		// the layout never changed, and the one thing that drops pages
+		// mid-request (the instance's own madvise) marks them dirty again
+		// when it rewrites them. So the merge runs over the dirty list, not
+		// the store.
+		ri := 0
+		for _, vpn := range sc.dirty {
+			for ri < len(st.vpns) && st.vpns[ri] < vpn {
+				ri++
+			}
+			if ri < len(st.vpns) && st.vpns[ri] == vpn {
+				sc.restore = append(sc.restore, ri)
+			}
 		}
-		if di < len(sc.dirty) && sc.dirty[di] == vpn {
-			sc.restore = append(sc.restore, i)
-			continue
-		}
-		// Page content lives only in the snapshot: re-poke if it is no
-		// longer resident and has real content. (Zero pages refault to
-		// zero on demand; no copy needed.)
-		if !m.residentNow(vpn) && !st.zeroAt(i, phys) {
-			sc.restore = append(sc.restore, i)
+	} else {
+		di, pi := 0, 0
+		for i, vpn := range st.vpns {
+			for di < len(sc.dirty) && sc.dirty[di] < vpn {
+				di++
+			}
+			if di < len(sc.dirty) && sc.dirty[di] == vpn {
+				sc.restore = append(sc.restore, i)
+				continue
+			}
+			// Page content lives only in the snapshot: re-poke if it is no
+			// longer resident and has real content. (Zero pages refault to
+			// zero on demand; no copy needed.)
+			for pi < len(sc.present) && sc.present[pi] < vpn {
+				pi++
+			}
+			resident := pi < len(sc.present) && sc.present[pi] == vpn
+			if !resident && !st.zeroAt(i, phys) {
+				sc.restore = append(sc.restore, i)
+			}
 		}
 	}
 	for i := 0; i < len(sc.restore); {
@@ -425,10 +513,4 @@ func (m *Manager) restoreRun(as *vm.AddressSpace, st *stateStore, lo, hi int) {
 		}
 		k = l
 	}
-}
-
-// residentNow reports whether the page currently has a backing frame.
-func (m *Manager) residentNow(vpn uint64) bool {
-	_, ok := m.proc.AS.PTEAt(vpn)
-	return ok
 }

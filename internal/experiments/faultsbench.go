@@ -130,7 +130,7 @@ func FaultsBench(cfg Config, quick bool) (FaultsBenchResult, error) {
 		Seed:            cfg.Seed,
 		PeakFramesInUse: out.PeakFrames,
 	}
-	var e2e metrics.Summary
+	var e2es []metrics.Recorder
 	for _, fs := range out.PerFunction {
 		res.Arrived += fs.Arrived
 		res.Requests += fs.Requests
@@ -146,10 +146,9 @@ func FaultsBench(cfg Config, quick bool) (FaultsBenchResult, error) {
 		res.CloneColdStarts += fs.CloneColdStarts
 		res.RetryBackoffVirtualUs += float64(fs.RetryBackoff) / float64(time.Microsecond)
 		res.ColdStartVirtualUs += float64(fs.ColdStartCost) / float64(time.Microsecond)
-		for _, s := range fs.E2E.Samples() {
-			e2e.Add(s)
-		}
+		e2es = append(e2es, fs.E2E)
 	}
+	e2e := metrics.Pool(e2es...)
 	res.LostRequests = res.Arrived - res.Requests
 	res.E2EP95VirtualMs = e2e.Percentile(95)
 	res.E2EP99VirtualMs = e2e.P99()

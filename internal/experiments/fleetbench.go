@@ -40,7 +40,8 @@ func summarizeVariantStats(out *trace.Result) FleetVariantStats {
 		PeakFramesInUse: out.PeakFrames,
 		EndFrames:       out.EndFrames,
 	}
-	var e2e, queue metrics.Summary
+	e2es := make([]metrics.Recorder, 0, len(out.PerFunction))
+	queues := make([]metrics.Recorder, 0, len(out.PerFunction))
 	for _, fs := range out.PerFunction {
 		v.Requests += fs.Requests
 		v.FullColdStarts += fs.FullColdStarts
@@ -49,13 +50,11 @@ func summarizeVariantStats(out *trace.Result) FleetVariantStats {
 		v.Reaped += fs.Reaped
 		v.ScaledToZero += fs.ScaledToZero
 		v.ImagesEvicted += fs.ImagesEvicted
-		for _, s := range fs.E2E.Samples() {
-			e2e.Add(s)
-		}
-		for _, s := range fs.Queue.Samples() {
-			queue.Add(s)
-		}
+		e2es = append(e2es, fs.E2E)
+		queues = append(queues, fs.Queue)
 	}
+	e2e := metrics.Pool(e2es...)
+	queue := metrics.Pool(queues...)
 	v.E2EP50VirtualMs = e2e.Percentile(50)
 	v.E2EP95VirtualMs = e2e.Percentile(95)
 	v.QueueP95VirtualMs = queue.Percentile(95)

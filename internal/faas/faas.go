@@ -110,6 +110,13 @@ type Container struct {
 
 	requests    uint64
 	requestsSeq uint64 // ID source for InvokeOnce and Serve
+
+	// reqBox and respBox are the container's in-flight request and response,
+	// boxed once per container instead of once per message: a pipe payload
+	// is an interface value, and wrapping the structs directly would heap-
+	// allocate a copy on every request the fleet serves.
+	reqBox  runtimes.Request
+	respBox runtimes.Response
 }
 
 // notifyRestored routes the rollback notification according to the
@@ -196,6 +203,11 @@ type Platform struct {
 	quarantined map[int]bool
 	// recovery accumulates the deployment's failure-recovery counters.
 	recovery RecoveryStats
+
+	// serveMeter is the per-request meter serveAs reuses across requests
+	// (serving is synchronous and never reentrant, so one scratch meter per
+	// platform suffices; TestServeSteadyStateZeroAllocs pins this).
+	serveMeter *sim.Meter
 }
 
 // RecoveryStats counts the deployment's failure-recovery actions. All zeros
@@ -782,7 +794,13 @@ func (pl *Platform) InvokeOnce(caller string) (RequestStats, error) {
 // rollback before the new request executes (§4.4).
 func (pl *Platform) serveAs(c *Container, reqID uint64, caller string) (RequestStats, error) {
 	cost := pl.Kern.Cost
-	m := sim.NewMeter()
+	m := pl.serveMeter
+	if m == nil {
+		m = sim.NewMeter()
+		pl.serveMeter = m
+	} else {
+		m.Reset()
+	}
 	req := runtimes.Request{ID: reqID, Caller: caller, SizeKB: pl.prof.InputKB}
 
 	// Deferred rollback: the container still holds the previous caller's
@@ -808,7 +826,8 @@ func (pl *Platform) serveAs(c *Container, reqID uint64, caller string) (RequestS
 
 	// Input path. Interposing strategies (Groundhog, fork) relay the
 	// request through the manager: an extra copy in and out (§4.5).
-	inMsg := kernel.Message{Payload: req, Size: pl.prof.InputKB * 1024}
+	c.reqBox = req
+	inMsg := kernel.Message{Payload: &c.reqBox, Size: pl.prof.InputKB * 1024}
 	if c.strat.Interposes() {
 		sim.ChargeTo(m, cost.ProxyPerRequest)
 		c.stdin.Send(inMsg, m)
@@ -837,7 +856,8 @@ func (pl *Platform) serveAs(c *Container, reqID uint64, caller string) (RequestS
 	// Output path. With DirectReturn (§4.5 option 2) the function hands the
 	// response straight to the platform and merely signals the manager, so
 	// the proxy-side output copy disappears.
-	outMsg := kernel.Message{Payload: resp, Size: resp.SizeKB * 1024}
+	c.respBox = resp
+	outMsg := kernel.Message{Payload: &c.respBox, Size: resp.SizeKB * 1024}
 	if c.strat.Interposes() && !pl.DirectReturn {
 		c.stdout.Send(outMsg, m)
 		if _, err := c.stdout.Recv(m); err != nil {

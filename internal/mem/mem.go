@@ -41,11 +41,21 @@ type frame struct {
 // PhysMem is a pool of reference-counted frames. The zero value is not
 // usable; call New.
 //
+// Frames live in a slot-indexed slice (the FrameID is the slot), with freed
+// IDs recycled through a free list — like a real kernel's frame allocator,
+// and unlike the previous map-backed pool whose hash lookups dominated the
+// simulation's page-copy paths at fleet scale. Recycling is deterministic
+// (LIFO), so allocation order — and therefore every simulated outcome — is
+// unchanged run to run. Freed page buffers are kept for reuse so the
+// steady-state fault/free churn of a long simulation does not touch the Go
+// heap.
+//
 // PhysMem is not safe for concurrent use. The simulation is single-threaded
 // by design (see internal/sim).
 type PhysMem struct {
-	frames map[FrameID]*frame
-	next   FrameID
+	frames []frame   // slot 0 is NoFrame and never used
+	free   []FrameID // freed slots, reused LIFO
+	bufs   [][]byte  // released page buffers, reused by materialize
 	// stats
 	inUse int
 	peak  int
@@ -53,14 +63,20 @@ type PhysMem struct {
 
 // New returns an empty physical memory pool.
 func New() *PhysMem {
-	return &PhysMem{frames: make(map[FrameID]*frame), next: 1}
+	return &PhysMem{frames: make([]frame, 1)}
 }
 
 // Alloc returns a fresh zero-filled frame with reference count 1.
 func (p *PhysMem) Alloc() FrameID {
-	id := p.next
-	p.next++
-	p.frames[id] = &frame{refs: 1}
+	var id FrameID
+	if n := len(p.free); n > 0 {
+		id = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		p.frames = append(p.frames, frame{})
+		id = FrameID(len(p.frames) - 1)
+	}
+	p.frames[id].refs = 1
 	p.inUse++
 	if p.inUse > p.peak {
 		p.peak = p.inUse
@@ -71,11 +87,19 @@ func (p *PhysMem) Alloc() FrameID {
 // get panics on invalid IDs: frame lifetime bugs are kernel bugs, and we
 // want them loud.
 func (p *PhysMem) get(id FrameID) *frame {
-	f, ok := p.frames[id]
-	if !ok {
+	if id <= 0 || int(id) >= len(p.frames) || p.frames[id].refs <= 0 {
 		panic(fmt.Sprintf("mem: use of invalid frame %d", id))
 	}
-	return f
+	return &p.frames[id]
+}
+
+// release returns a frame's page buffer to the reuse pool and marks the
+// frame lazily zero.
+func (p *PhysMem) release(f *frame) {
+	if f.data != nil {
+		p.bufs = append(p.bufs, f.data)
+		f.data = nil
+	}
 }
 
 // Ref increments the reference count (copy-on-write sharing).
@@ -88,11 +112,9 @@ func (p *PhysMem) Ref(id FrameID) {
 func (p *PhysMem) Unref(id FrameID) {
 	f := p.get(id)
 	f.refs--
-	if f.refs < 0 {
-		panic(fmt.Sprintf("mem: negative refcount on frame %d", id))
-	}
 	if f.refs == 0 {
-		delete(p.frames, id)
+		p.release(f)
+		p.free = append(p.free, id)
 		p.inUse--
 	}
 }
@@ -103,19 +125,33 @@ func (p *PhysMem) Refs(id FrameID) int { return p.get(id).refs }
 // Clone allocates a new frame containing a copy of src's bytes, with
 // reference count 1. It is the copy half of copy-on-write.
 func (p *PhysMem) Clone(src FrameID) FrameID {
+	dst := p.Alloc() // may grow the slot array; fetch src after
 	s := p.get(src)
-	dst := p.Alloc()
 	if s.data != nil {
-		d := p.get(dst)
-		d.data = make([]byte, PageSize)
-		copy(d.data, s.data)
+		copy(p.materializeRaw(p.get(dst)), s.data)
 	}
 	return dst
 }
 
-func (f *frame) materialize() []byte {
+// materialize gives f a real (all-zero) page buffer, drawing from the reuse
+// pool when possible.
+func (p *PhysMem) materialize(f *frame) []byte {
 	if f.data == nil {
-		f.data = make([]byte, PageSize)
+		clear(p.materializeRaw(f))
+	}
+	return f.data
+}
+
+// materializeRaw gives f a real page buffer WITHOUT zeroing recycled
+// contents — only for callers about to overwrite the entire page.
+func (p *PhysMem) materializeRaw(f *frame) []byte {
+	if f.data == nil {
+		if n := len(p.bufs); n > 0 {
+			f.data = p.bufs[n-1]
+			p.bufs = p.bufs[:n-1]
+		} else {
+			f.data = make([]byte, PageSize)
+		}
 	}
 	return f.data
 }
@@ -146,7 +182,7 @@ func (p *PhysMem) WriteWord(id FrameID, off int, v uint64) {
 	if v == 0 && f.data == nil {
 		return // writing zero to a zero frame: stay lazily zero
 	}
-	binary.LittleEndian.PutUint64(f.materialize()[off:], v)
+	binary.LittleEndian.PutUint64(p.materialize(f)[off:], v)
 }
 
 // ReadAt copies frame bytes [off, off+len(buf)) into buf.
@@ -178,12 +214,12 @@ func (p *PhysMem) WriteAt(id FrameID, off int, buf []byte) {
 	if f.data == nil && isZeroBytes(buf) {
 		return
 	}
-	copy(f.materialize()[off:], buf)
+	copy(p.materialize(f)[off:], buf)
 }
 
 // Zero resets the frame to all-zero bytes.
 func (p *PhysMem) Zero(id FrameID) {
-	p.get(id).data = nil
+	p.release(p.get(id))
 }
 
 // IsZero reports whether every byte of the frame is zero.
@@ -223,10 +259,10 @@ func (p *PhysMem) Snapshot(id FrameID) []byte {
 func (p *PhysMem) RestoreInto(id FrameID, snap []byte) {
 	f := p.get(id)
 	if snap == nil {
-		f.data = nil
+		p.release(f)
 		return
 	}
-	copy(f.materialize(), snap)
+	copy(p.materializeRaw(f), snap)
 }
 
 // RestoreRun overwrites a run of frames in one call: frame ids[i] receives
@@ -237,7 +273,7 @@ func (p *PhysMem) RestoreInto(id FrameID, snap []byte) {
 func (p *PhysMem) RestoreRun(ids []FrameID, data []byte) {
 	if data == nil {
 		for _, id := range ids {
-			p.get(id).data = nil
+			p.release(p.get(id))
 		}
 		return
 	}
@@ -245,7 +281,7 @@ func (p *PhysMem) RestoreRun(ids []FrameID, data []byte) {
 		panic(fmt.Sprintf("mem: RestoreRun of %d frames with %d bytes", len(ids), len(data)))
 	}
 	for i, id := range ids {
-		copy(p.get(id).materialize(), data[i*PageSize:(i+1)*PageSize])
+		copy(p.materializeRaw(p.get(id)), data[i*PageSize:(i+1)*PageSize])
 	}
 }
 
@@ -269,13 +305,10 @@ func (p *PhysMem) Copy(dst, src FrameID) {
 	s := p.get(src)
 	d := p.get(dst)
 	if s.data == nil {
-		d.data = nil
+		p.release(d)
 		return
 	}
-	if d.data == nil {
-		d.data = make([]byte, PageSize)
-	}
-	copy(d.data, s.data)
+	copy(p.materializeRaw(d), s.data)
 }
 
 // Bytes reports the materialized size of a frame: 0 while it is lazily

@@ -16,7 +16,8 @@ import (
 // The zero value is ready to use.
 type Summary struct {
 	samples []float64
-	sorted  bool
+	sorted  []float64 // lazily maintained sorted copy of samples
+	clean   bool      // sorted mirrors samples
 }
 
 // PushBounded appends v to a drop-oldest sliding window: once the ring
@@ -31,9 +32,10 @@ func PushBounded[T any](ring []T, v T, window int) []T {
 	return append(ring, v)
 }
 
-// NewSummary returns a summary over the given samples. The slice is owned
-// by the summary afterwards (Percentile may sort it in place); pass a copy
-// to keep the original untouched.
+// NewSummary returns a summary over the given samples. The summary retains
+// the slice but never reorders it (order statistics work on an internal
+// sorted copy; TestNewSummaryDoesNotMutateCaller pins this); a later Add may
+// append into the slice's spare capacity, so the caller must not grow it.
 func NewSummary(samples []float64) *Summary {
 	return &Summary{samples: samples}
 }
@@ -41,7 +43,7 @@ func NewSummary(samples []float64) *Summary {
 // Add appends one sample.
 func (s *Summary) Add(v float64) {
 	s.samples = append(s.samples, v)
-	s.sorted = false
+	s.clean = false
 }
 
 // AddDuration appends a duration sample in milliseconds.
@@ -94,9 +96,10 @@ func (s *Summary) CoV() float64 {
 }
 
 func (s *Summary) ensureSorted() {
-	if !s.sorted {
-		sort.Float64s(s.samples)
-		s.sorted = true
+	if !s.clean {
+		s.sorted = append(s.sorted[:0], s.samples...)
+		sort.Float64s(s.sorted)
+		s.clean = true
 	}
 }
 
@@ -107,20 +110,32 @@ func (s *Summary) Percentile(p float64) float64 {
 		return 0
 	}
 	s.ensureSorted()
+	return PercentileSorted(s.sorted, p)
+}
+
+// PercentileSorted returns the p-th percentile of an already-sorted sample
+// slice by linear interpolation between closest ranks — the exact convention
+// Summary.Percentile uses (it delegates here). Callers with a reusable
+// sorted scratch buffer (the fleet's per-tick latency signals) get
+// Summary-identical answers without building a Summary per read.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if p <= 0 {
-		return s.samples[0]
+		return sorted[0]
 	}
 	if p >= 100 {
-		return s.samples[len(s.samples)-1]
+		return sorted[len(sorted)-1]
 	}
-	rank := p / 100 * float64(len(s.samples)-1)
+	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s.samples[lo]
+		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return s.samples[lo]*(1-frac) + s.samples[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Median returns the 50th percentile.
@@ -141,7 +156,7 @@ func (s *Summary) Min() float64 {
 		return 0
 	}
 	s.ensureSorted()
-	return s.samples[0]
+	return s.sorted[0]
 }
 
 // Max returns the largest sample.
@@ -150,7 +165,7 @@ func (s *Summary) Max() float64 {
 		return 0
 	}
 	s.ensureSorted()
-	return s.samples[len(s.samples)-1]
+	return s.sorted[len(s.sorted)-1]
 }
 
 // RelOverheadPct returns (x-base)/base in percent — the paper's relative

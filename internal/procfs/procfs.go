@@ -148,6 +148,19 @@ func (fs *FS) PagemapRange(p *kernel.Process, start, end vm.Addr, meter *sim.Met
 	return buf
 }
 
+// PagemapRangePresent scans the pagemap entries for [start, end) like
+// PagemapRange but appends only the present pages' entries — the form the
+// snapshot and restore hot paths consume, walking the page table's resident
+// chunks instead of testing every page of the span. The charge is identical
+// to PagemapRange's: reading the range still costs PagemapRangeBase plus the
+// per-page cost over every page of the span, present or not.
+func (fs *FS) PagemapRangePresent(p *kernel.Process, start, end vm.Addr, meter *sim.Meter, buf []vm.PagemapEntry) []vm.PagemapEntry {
+	buf = p.AS.AppendPagemapRange(start.PageNum(), end.PageNum(), buf)
+	sim.ChargeTo(meter, fs.kern.Cost.PagemapRangeBase)
+	sim.ChargeTo(meter, fs.kern.Cost.PagemapPerPage*sim.Duration(end.PageNum()-start.PageNum()))
+	return buf
+}
+
 // SoftDirtyVPNs scans the pagemap and returns only the present, soft-dirty
 // page numbers (sorted). The full scan cost is still charged: identifying
 // the dirty set requires reading every entry.

@@ -279,6 +279,12 @@ func (in *Instance) InvokeOn(proc *kernel.Process, req Request, meter *sim.Meter
 		_ = as.Munmap(a, churnRegionPages*mem.PageSize)
 	}
 	var churn []vm.Addr
+	if !ephemeral {
+		// The previous request's list was fully consumed above; reuse its
+		// storage. (An ephemeral child must not touch the parent's list —
+		// every child re-unmaps the same inherited regions.)
+		churn = in.churn[:0]
+	}
 	for i := 0; i < prof.Lang.LayoutChurnOps(); i++ {
 		name := fmt.Sprintf("churn:%d:%d", req.ID, i)
 		if a, err := as.Mmap(churnRegionPages*mem.PageSize, vm.ProtRW, vm.KindFile, name); err == nil {

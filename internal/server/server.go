@@ -402,7 +402,7 @@ func (dep *deployment) describe() DeploymentInfo {
 		CloneReady: info.CloneColdStartReady,
 		MeanE2EMs:  info.E2EMeanMS,
 		P95E2EMs:   info.E2EP95MS,
-		Memory:     mem,
+		Memory:     trace.StaticMemory(mem),
 	}
 	if now > 0 {
 		sig.ArrivalRatePerSec = float64(dep.invoked) / (float64(now) / 1e9)

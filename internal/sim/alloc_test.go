@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEngineSteadyStateZeroAllocs pins the event engine's scheduling hot
+// path at zero allocations per schedule/fire pair once the heap slice has
+// reached its working capacity: a fleet simulation schedules millions of
+// events, and every one of them must reuse the queue's storage.
+func TestEngineSteadyStateZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	nop := func() {}
+	// Prime the queue's capacity past anything the measured loop needs.
+	for i := 0; i < 64; i++ {
+		e.After(Duration(i)*time.Microsecond, nop)
+	}
+	e.Run()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 32; i++ {
+			e.After(Duration(i)*time.Microsecond, nop)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("engine schedule/fire allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestMeterSteadyStateZeroAllocs pins metering at zero allocations once the
+// phase accounts exist: Charge on the fault and restore paths runs millions
+// of times per simulated second.
+func TestMeterSteadyStateZeroAllocs(t *testing.T) {
+	m := NewMeter()
+	m.BeginPhase("a")
+	m.Charge(time.Microsecond)
+	m.ChargePhase("b", time.Microsecond)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Reset()
+		m.BeginPhase("a")
+		m.Charge(time.Microsecond)
+		m.ChargePhase("b", time.Microsecond)
+		m.BeginPhase("")
+		m.Charge(time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("meter charging allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestMeterPhaseAccounting covers the slice-backed phase accounts against
+// the behavior the map-backed meter had: attribution follows BeginPhase,
+// ChargePhase leaves the current phase alone, and Reset zeroes but keeps
+// the accounts.
+func TestMeterPhaseAccounting(t *testing.T) {
+	m := NewMeter()
+	m.Charge(1) // unattributed
+	m.BeginPhase("x")
+	m.Charge(2)
+	m.ChargePhase("y", 5)
+	m.Charge(3)
+	m.BeginPhase("")
+	m.Charge(7)
+	if got := m.Total(); got != 18 {
+		t.Fatalf("Total = %v, want 18", got)
+	}
+	if got := m.Phase("x"); got != 5 {
+		t.Fatalf("Phase(x) = %v, want 5", got)
+	}
+	if got := m.Phase("y"); got != 5 {
+		t.Fatalf("Phase(y) = %v, want 5", got)
+	}
+	if got := m.Phase("nope"); got != 0 {
+		t.Fatalf("Phase(nope) = %v, want 0", got)
+	}
+	m.Reset()
+	if m.Total() != 0 || m.Phase("x") != 0 || len(m.Phases()) != 0 {
+		t.Fatalf("Reset left state behind: total=%v x=%v phases=%v", m.Total(), m.Phase("x"), m.Phases())
+	}
+	// Post-reset charges are unattributed until a new BeginPhase.
+	m.Charge(4)
+	if got := m.Phase("x"); got != 0 {
+		t.Fatalf("post-Reset Charge attributed to stale phase: %v", got)
+	}
+}

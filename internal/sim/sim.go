@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -40,34 +39,79 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (time, scheduling sequence).
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Engine is a single-threaded discrete-event executor. The zero value is
 // ready to use. Engine is not safe for concurrent use; the simulation model
 // is cooperative, with concurrency expressed as interleaved events.
+//
+// The event queue is a hand-rolled binary min-heap of event values: pushing
+// reuses the slice's capacity and popping clears only the callback pointer,
+// so steady-state scheduling — millions of schedule/fire pairs in a fleet
+// simulation — performs no heap allocation (container/heap would box every
+// *event through its interface{} Push/Pop). Pinned by
+// TestEngineSteadyStateZeroAllocs.
 type Engine struct {
 	now     Time
-	events  eventHeap
+	events  []event // binary min-heap ordered by before
 	seq     uint64
 	stopped bool
+}
+
+// siftUp restores the heap property after appending at index i.
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property after replacing the root.
+func (e *Engine) siftDown() {
+	h := e.events
+	n := len(h)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h[l].before(&h[min]) {
+			min = l
+		}
+		if r < n && h[r].before(&h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// pop removes and returns the earliest event's callback, advancing the clock
+// to its time.
+func (e *Engine) pop() func() {
+	n := len(e.events) - 1
+	ev := e.events[0]
+	e.events[0] = e.events[n]
+	e.events[n].fn = nil // release the callback; the slot is reused
+	e.events = e.events[:n]
+	if n > 0 {
+		e.siftDown()
+	}
+	e.now = ev.at
+	return ev.fn
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -83,7 +127,8 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.events = append(e.events, event{at: t, seq: e.seq, fn: fn})
+	e.siftUp(len(e.events) - 1)
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -98,9 +143,7 @@ func (e *Engine) After(d Duration, fn func()) {
 func (e *Engine) Run() {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
-		ev.fn()
+		e.pop()()
 	}
 }
 
@@ -114,9 +157,7 @@ func (e *Engine) RunUntil(deadline Time) {
 			e.now = deadline
 			return
 		}
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
-		ev.fn()
+		e.pop()()
 	}
 	if e.now < deadline {
 		e.now = deadline

@@ -62,12 +62,45 @@ type Signals struct {
 	// crash observation ring (0 with no recent crashes). A spike tells an
 	// adaptive policy to over-provision while a failure burst lasts.
 	CrashRatePerSec float64
-	// Memory is the deployment's current memory accounting. FramesInUse is
-	// host-wide on shared-kernel fleets. Populating it costs a walk over
-	// every resident page, so the fleet skips it for policies declaring
-	// MemoryFree (and for SignalFree ones).
-	Memory faas.MemoryStats
+	// Memory lazily reports the deployment's current memory accounting
+	// (FramesInUse is host-wide on shared-kernel fleets). Computing the
+	// stats costs a walk over every resident page, so the signal is a
+	// memoized thunk: policies that never call Get never pay for the walk,
+	// and repeated Gets within one snapshot reuse the first answer.
+	Memory MemorySignal
 }
+
+// MemorySignal is Signals.Memory: a lazily evaluated, per-snapshot memoized
+// view of faas.Platform.Memory. The zero value reports zero stats; use
+// StaticMemory to build one from a precomputed MemoryStats (the server's
+// advice endpoint, tests).
+type MemorySignal struct {
+	memo  *memoryMemo
+	value faas.MemoryStats
+}
+
+// memoryMemo is the shared memo behind a fleet-issued MemorySignal; the
+// fleet resets it at every signal snapshot so a refreshed snapshot re-walks.
+type memoryMemo struct {
+	platform *faas.Platform
+	valid    bool
+	stats    faas.MemoryStats
+}
+
+// Get returns the memory stats, computing (and memoizing) them on first use.
+func (m MemorySignal) Get() faas.MemoryStats {
+	if m.memo == nil {
+		return m.value
+	}
+	if !m.memo.valid {
+		m.memo.stats = m.memo.platform.Memory()
+		m.memo.valid = true
+	}
+	return m.memo.stats
+}
+
+// StaticMemory wraps a precomputed MemoryStats as a MemorySignal.
+func StaticMemory(st faas.MemoryStats) MemorySignal { return MemorySignal{value: st} }
 
 // Policy is the fleet's scheduling brain: it decides how many containers a
 // saturated function adds, which idle containers the reaper removes, how
@@ -109,9 +142,10 @@ type SignalFree interface {
 }
 
 // MemoryFree is an optional Policy refinement: implementing it declares
-// that no decision reads Signals.Memory, letting the fleet skip the
-// per-decision resident-page walk while still supplying the other
-// observations. SignalFree implies it.
+// that no decision reads Signals.Memory. Since Signals.Memory became a lazy
+// memoized thunk the declaration is advisory — a policy that never calls
+// Get never pays for the resident-page walk, declared or not — but it
+// remains a useful documentation marker.
 type MemoryFree interface {
 	MemoryFree()
 }
@@ -304,7 +338,7 @@ func (p CostMinimizing) breakEven(sig Signals) sim.Duration {
 	if pool < 1 {
 		pool = 1
 	}
-	pages := sig.Memory.ResidentPages / pool
+	pages := sig.Memory.Get().ResidentPages / pool
 	if pages < 1 {
 		pages = 1
 	}
@@ -341,7 +375,7 @@ func (p CostMinimizing) EvictImage(sig Signals) bool {
 	if sig.MeanFullColdMs <= 0 {
 		return false
 	}
-	pages := sig.Memory.StateStoreBytes / mem.PageSize
+	pages := sig.Memory.Get().StateStoreBytes / mem.PageSize
 	if pages < 1 {
 		pages = 1
 	}

@@ -110,7 +110,7 @@ func TestCostMinimizingBreakEven(t *testing.T) {
 	// 2000 resident pages over 2 containers, full cold start 600ms =
 	// 600000 µs: break-even = 600000 / (1000 x 100) = 6s.
 	sig := Signals{PoolSize: 2, MeanFullColdMs: 600,
-		Memory: faas.MemoryStats{ResidentPages: 2000}}
+		Memory: StaticMemory(faas.MemoryStats{ResidentPages: 2000})}
 	if p.Reap(sig, 5*time.Second, false) {
 		t.Fatal("reaped below the 6s break-even")
 	}
@@ -127,7 +127,7 @@ func TestCostMinimizingBreakEven(t *testing.T) {
 	}
 	// Image eviction: at high rates the image pays for itself...
 	img := Signals{ArrivalRatePerSec: 50, MeanFullColdMs: 600, MeanCloneColdMs: 1,
-		Memory: faas.MemoryStats{StateStoreBytes: 800 * 4096}}
+		Memory: StaticMemory(faas.MemoryStats{StateStoreBytes: 800 * 4096})}
 	if p.EvictImage(img) {
 		t.Fatal("evicted a profitable image")
 	}
@@ -175,13 +175,13 @@ func TestSignalsDoNotMutateStats(t *testing.T) {
 		fs.stats.E2E.Add(v)
 		fs.observeLatency(v, v/2)
 	}
-	before := fs.stats.E2E.Samples()
+	before := fs.stats.E2E.(*metrics.Summary).Samples()
 	ringBefore := append([]float64(nil), fs.recentE2E...)
 	sig := f.signals(fs, f.engine.Now())
 	if sig.P95E2EMs <= 0 || sig.MeanServiceMs <= 0 {
 		t.Fatalf("missing latency signals: %+v", sig)
 	}
-	after := fs.stats.E2E.Samples()
+	after := fs.stats.E2E.(*metrics.Summary).Samples()
 	for i := range before {
 		if before[i] != after[i] {
 			t.Fatalf("signal read reordered samples: %v -> %v", before, after)
@@ -279,11 +279,7 @@ func TestFleetSLOAwareCollapsesPools(t *testing.T) {
 		t.Fatalf("SLOAware mean frames %.0f not below FixedTTL %.0f",
 			sloRes.MeanFrames, fixedRes.MeanFrames)
 	}
-	var p95 metrics.Summary
-	for _, s := range sloFn.E2E.Samples() {
-		p95.Add(s)
-	}
-	if got := p95.Percentile(95); got > 100 {
+	if got := sloFn.E2E.Percentile(95); got > 100 {
 		t.Fatalf("SLOAware p95 %.1f ms misses the 100 ms target", got)
 	}
 }

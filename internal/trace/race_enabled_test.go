@@ -1,0 +1,10 @@
+//go:build race
+
+package trace
+
+// raceEnabled reports whether the race detector is compiled in. The
+// differential alloc guard compares runtime.MemStats across two fleet runs;
+// race instrumentation allocates on its own schedule, which makes that
+// difference noisy (and, being unsigned, liable to wrap), so the guard only
+// runs in non-race builds — CI runs the package both ways.
+const raceEnabled = true

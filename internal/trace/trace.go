@@ -40,6 +40,19 @@ type FunctionLoad struct {
 	// the fleet-wide target). SLO-aware policies read it via
 	// Signals.SLOTargetMs.
 	SLOTargetMs float64
+
+	// DiurnalAmplitude and DiurnalPeriod modulate the arrival rate
+	// sinusoidally around RatePerSec, as production FaaS traffic swings
+	// between peak and trough hours: the instantaneous rate at offset t into
+	// the window is RatePerSec * (1 + A*sin(2*pi*t/P + Phase)). Amplitude
+	// must lie in [0, 1) — the rate stays positive — and modulation is armed
+	// only when both amplitude and period are positive, so the zero value
+	// leaves the arrival process exactly as before (stationary, and
+	// bit-identical to loads predating these fields). DiurnalPhase shifts
+	// the cycle (radians) so a mix of functions can peak at different times.
+	DiurnalAmplitude float64
+	DiurnalPeriod    sim.Duration
+	DiurnalPhase     float64
 }
 
 // Config parameterizes a fleet run.
@@ -88,6 +101,15 @@ type Config struct {
 	// snapshotting strategy; the zero value is the paper's eager copy
 	// store.
 	Store core.StoreKind
+
+	// SketchStats selects bounded-memory percentile sketches
+	// (metrics.Sketch, 1% relative accuracy) for the per-function latency
+	// recorders instead of the exact sample-retaining summaries. A
+	// million-request fleet then holds a few thousand histogram buckets per
+	// function rather than millions of float64 samples. Off by default:
+	// exact summaries keep the committed benchmark baselines byte-identical
+	// and give small-N experiment paths exact percentiles.
+	SketchStats bool
 
 	// Faults arms deterministic fault injection across every layer of the
 	// fleet's stack — kernel spawn-from-image, core export/restore, faas
@@ -212,13 +234,36 @@ type FunctionStats struct {
 	EventCrashes int
 	Drained      int
 
-	E2E   metrics.Summary // ms, including queueing and cold-start waits
-	Queue metrics.Summary // ms waiting for a container
+	// E2E (ms, including queueing and cold-start waits) and Queue (ms
+	// waiting for a container) record every request's latency. The
+	// recorders are exact sample-retaining summaries by default, or
+	// bounded-memory sketches under Config.SketchStats; NewFleet
+	// initializes them — a zero FunctionStats has nil recorders.
+	E2E   metrics.Recorder
+	Queue metrics.Recorder
 	// FullColdLatency and CloneLatency summarize the two cold-start paths'
 	// durations (ms), separating the pipeline's hundreds of milliseconds
 	// from the clone path's sub-millisecond spawns.
-	FullColdLatency metrics.Summary
-	CloneLatency    metrics.Summary
+	FullColdLatency metrics.Recorder
+	CloneLatency    metrics.Recorder
+}
+
+// newFunctionStats builds a FunctionStats with its latency recorders
+// initialized per the fleet's Config.SketchStats selection.
+func newFunctionStats(name string, sketch bool) *FunctionStats {
+	st := &FunctionStats{Name: name}
+	if sketch {
+		st.E2E = metrics.NewSketch(0)
+		st.Queue = metrics.NewSketch(0)
+		st.FullColdLatency = metrics.NewSketch(0)
+		st.CloneLatency = metrics.NewSketch(0)
+	} else {
+		st.E2E = &metrics.Summary{}
+		st.Queue = &metrics.Summary{}
+		st.FullColdLatency = &metrics.Summary{}
+		st.CloneLatency = &metrics.Summary{}
+	}
+	return st
 }
 
 // Result is a fleet run's outcome.
@@ -286,9 +331,21 @@ func retryDispatchDelay(streak int) sim.Duration {
 type fnState struct {
 	load     FunctionLoad
 	platform *faas.Platform
-	queue    []sim.Time // arrival times of waiting requests
-	stats    *FunctionStats
-	rng      *sim.Rand
+	// queue is a head-indexed ring of waiting requests' arrival times:
+	// dequeue advances qhead instead of re-slicing the front away, so the
+	// backing array is reused forever and steady-state queueing allocates
+	// nothing (enqueue compacts to the front only when the array is full).
+	queue []sim.Time
+	qhead int
+	stats *FunctionStats
+	rng   *sim.Rand
+	// redispatch is the cached "drain my queue" closure scheduled on every
+	// container-ready and retry event — one allocation per function instead
+	// of one per scheduled dispatch.
+	redispatch func()
+	// memMemo backs the signal snapshot's lazy Memory thunk; signals()
+	// resets it so every snapshot re-walks at most once.
+	memMemo memoryMemo
 	// arrivalTimes is a drop-oldest ring of recent arrival timestamps; the
 	// policy's rate estimate is its population over its span to now, so a
 	// deployment whose traffic stopped sees its rate decay.
@@ -325,6 +382,31 @@ func (fs *fnState) observeCrash(t sim.Time) {
 	fs.crashTimes = metrics.PushBounded(fs.crashTimes, t, crashWindow)
 }
 
+// queueDepth reports the number of requests waiting for a container.
+func (fs *fnState) queueDepth() int { return len(fs.queue) - fs.qhead }
+
+// enqueue appends one arrival to the queue ring.
+func (fs *fnState) enqueue(t sim.Time) {
+	if fs.qhead > 0 && len(fs.queue) == cap(fs.queue) {
+		n := copy(fs.queue, fs.queue[fs.qhead:])
+		fs.queue = fs.queue[:n]
+		fs.qhead = 0
+	}
+	fs.queue = append(fs.queue, t)
+}
+
+// queueHead returns the oldest waiting arrival; the queue must be nonempty.
+func (fs *fnState) queueHead() sim.Time { return fs.queue[fs.qhead] }
+
+// dequeue consumes the head; an emptied ring rewinds to reuse its storage.
+func (fs *fnState) dequeue() {
+	fs.qhead++
+	if fs.qhead == len(fs.queue) {
+		fs.queue = fs.queue[:0]
+		fs.qhead = 0
+	}
+}
+
 // Fleet runs a multi-function workload and reports per-function and
 // fleet-wide outcomes.
 type Fleet struct {
@@ -343,6 +425,11 @@ type Fleet struct {
 	// policy ticks); lastSample is the integration cursor.
 	frameArea  float64
 	lastSample sim.Time
+
+	// p95Scratch is the reused sorted copy behind the per-tick P95E2EMs
+	// signal — one buffer for the whole fleet instead of a fresh
+	// slice-and-Summary pair per function per tick.
+	p95Scratch []float64
 
 	// reapOverride, when set, replaces the per-function policy step — the
 	// equivalence tests inject the legacy reaper here to pin FixedTTL
@@ -379,6 +466,14 @@ func NewFleet(cfg Config, loads []FunctionLoad) (*Fleet, error) {
 		if load.SLOTargetMs < 0 {
 			return nil, fmt.Errorf("trace: %s: negative SLO target", load.Entry.Prof.DisplayName())
 		}
+		if load.DiurnalAmplitude < 0 || load.DiurnalAmplitude >= 1 {
+			return nil, fmt.Errorf("trace: %s: diurnal amplitude %v outside [0, 1)",
+				load.Entry.Prof.DisplayName(), load.DiurnalAmplitude)
+		}
+		if load.DiurnalAmplitude > 0 && load.DiurnalPeriod <= 0 {
+			return nil, fmt.Errorf("trace: %s: diurnal amplitude needs a positive period",
+				load.Entry.Prof.DisplayName())
+		}
 		// Zero constructor containers so the store kind can be set first;
 		// the warm floor is added explicitly (pre-warmed, like the
 		// constructor path).
@@ -395,13 +490,15 @@ func NewFleet(cfg Config, loads []FunctionLoad) (*Fleet, error) {
 		if target == 0 {
 			target = cfg.SLOTargetMs
 		}
-		f.fns = append(f.fns, &fnState{
+		fs := &fnState{
 			load:        load,
 			platform:    pl,
-			stats:       &FunctionStats{Name: load.Entry.Prof.DisplayName()},
+			stats:       newFunctionStats(load.Entry.Prof.DisplayName(), cfg.SketchStats),
 			rng:         sim.NewRand(cfg.Seed ^ uint64(i)*0x9E3779B97F4A7C15),
 			sloTargetMs: target,
-		})
+		}
+		fs.redispatch = func() { f.dispatch(fs) }
+		f.fns = append(f.fns, fs)
 	}
 	for _, ev := range cfg.Events {
 		if ev.Function == "" {
@@ -436,7 +533,7 @@ func (f *Fleet) setPolicy(p Policy) {
 func (f *Fleet) signals(fs *fnState, now sim.Time) Signals {
 	sig := Signals{
 		Now:         now,
-		QueueDepth:  len(fs.queue),
+		QueueDepth:  fs.queueDepth(),
 		PoolSize:    len(fs.platform.Containers()),
 		Requests:    fs.stats.Requests,
 		SLOTargetMs: fs.sloTargetMs,
@@ -456,9 +553,12 @@ func (f *Fleet) signals(fs *fnState, now sim.Time) Signals {
 		}
 	}
 	sig.CloneReady = fs.platform.CloneSourceReady()
-	if _, free := f.policy.(MemoryFree); !free {
-		sig.Memory = fs.platform.Memory()
-	}
+	// Memory is handed out as a lazy memoized thunk: resetting the memo
+	// invalidates any earlier snapshot's view, and the O(resident pages)
+	// walk runs only if (and when) the policy calls Get — at most once per
+	// snapshot.
+	fs.memMemo = memoryMemo{platform: fs.platform}
+	sig.Memory = MemorySignal{memo: &fs.memMemo}
 	if n := len(fs.arrivalTimes); n > 0 {
 		if span := now.Sub(fs.arrivalTimes[0]); span > 0 {
 			sig.ArrivalRatePerSec = float64(n) / span.Seconds()
@@ -471,18 +571,39 @@ func (f *Fleet) signals(fs *fnState, now sim.Time) Signals {
 		sig.MeanCloneColdMs = fs.stats.CloneLatency.Mean()
 	}
 	if len(fs.recentE2E) > 0 {
-		e2e := metrics.NewSummary(append([]float64(nil), fs.recentE2E...))
-		sig.MeanE2EMs = e2e.Mean()
-		sig.P95E2EMs = e2e.Percentile(95)
-		sig.MeanServiceMs = metrics.NewSummary(append([]float64(nil), fs.recentSvc...)).Mean()
+		// One reused scratch buffer stands in for the fresh slice-and-Summary
+		// pair this used to build per function per tick: the mean sums the
+		// copy in ring order (the same float additions Summary.Mean
+		// performed), then the sort and interpolation reproduce
+		// Summary.Percentile exactly (PercentileSorted is its implementation).
+		f.p95Scratch = append(f.p95Scratch[:0], fs.recentE2E...)
+		var sum float64
+		for _, v := range f.p95Scratch {
+			sum += v
+		}
+		sig.MeanE2EMs = sum / float64(len(f.p95Scratch))
+		sort.Float64s(f.p95Scratch)
+		sig.P95E2EMs = metrics.PercentileSorted(f.p95Scratch, 95)
+		var svc float64
+		for _, v := range fs.recentSvc {
+			svc += v
+		}
+		sig.MeanServiceMs = svc / float64(len(fs.recentSvc))
 	}
 	return sig
 }
 
 // interarrival draws the next gap for a function: exponential for
-// Burstiness <= 1, hyperexponential (two-phase) above.
-func (fs *fnState) interarrival() sim.Duration {
-	mean := 1e9 / fs.load.RatePerSec
+// Burstiness <= 1, hyperexponential (two-phase) above. A diurnal load
+// evaluates its modulated rate at the current time (a standard thinning-free
+// approximation: gaps are short against the period, so the rate is treated
+// as constant across one gap).
+func (fs *fnState) interarrival(now sim.Time) sim.Duration {
+	rate := fs.load.RatePerSec
+	if a, p := fs.load.DiurnalAmplitude, fs.load.DiurnalPeriod; a > 0 && p > 0 {
+		rate *= 1 + a*math.Sin(2*math.Pi*float64(now)/float64(p)+fs.load.DiurnalPhase)
+	}
+	mean := 1e9 / rate
 	cv := fs.load.Burstiness
 	u := fs.rng.Float64()
 	if u <= 0 {
@@ -496,13 +617,13 @@ func (fs *fnState) interarrival() sim.Duration {
 	// probability p and has rate 2p/mean, phase 2 with 1-p and rate
 	// 2(1-p)/mean; the mixture keeps the requested mean with CV > 1.
 	p := 0.5 * (1 + math.Sqrt((cv*cv-1)/(cv*cv+1)))
-	var rate float64
+	var phaseRate float64
 	if fs.rng.Float64() < p {
-		rate = 2 * p / mean
+		phaseRate = 2 * p / mean
 	} else {
-		rate = 2 * (1 - p) / mean
+		phaseRate = 2 * (1 - p) / mean
 	}
-	return sim.Duration(exp / rate)
+	return sim.Duration(exp / phaseRate)
 }
 
 // Run executes the configured window and returns the results.
@@ -521,11 +642,11 @@ func (f *Fleet) Run() (*Result, error) {
 				fs.observeArrival(f.engine.Now())
 			}
 			fs.stats.Arrived++
-			fs.queue = append(fs.queue, f.engine.Now())
+			fs.enqueue(f.engine.Now())
 			f.dispatch(fs)
-			f.engine.After(fs.interarrival(), arrive)
+			f.engine.After(fs.interarrival(f.engine.Now()), arrive)
 		}
-		f.engine.After(fs.interarrival(), arrive)
+		f.engine.After(fs.interarrival(0), arrive)
 	}
 
 	// Scheduled failure events.
@@ -648,7 +769,7 @@ func (f *Fleet) reapIdle(fs *fnState, now sim.Time) {
 		}
 	}
 
-	if len(fs.queue) > 0 || floor > 1 {
+	if fs.queueDepth() > 0 || floor > 1 {
 		return
 	}
 	cs := fs.platform.Containers()
@@ -691,7 +812,7 @@ func (f *Fleet) dispatch(fs *fnState) {
 		return
 	}
 	now := f.engine.Now()
-	for len(fs.queue) > 0 {
+	for fs.queueDepth() > 0 {
 		c := f.pickReady(fs, now)
 		if c == nil {
 			// No container free right now: ask the policy how many to add
@@ -715,7 +836,7 @@ func (f *Fleet) dispatch(fs *fnState) {
 							// backoff instead of killing the fleet — faults
 							// delay requests, they must not drop them.
 							fs.coldFailStreak++
-							f.engine.After(retryDispatchDelay(fs.coldFailStreak), func() { f.dispatch(fs) })
+							f.engine.After(retryDispatchDelay(fs.coldFailStreak), fs.redispatch)
 							return
 						}
 						f.err = err
@@ -733,13 +854,13 @@ func (f *Fleet) dispatch(fs *fnState) {
 						fs.stats.FullColdStarts++
 						fs.stats.FullColdLatency.AddDuration(cold.Total)
 					}
-					f.engine.At(nc.Ready(), func() { f.dispatch(fs) })
+					f.engine.At(nc.Ready(), fs.redispatch)
 					added = true
 				}
 			}
 			if !added {
 				if next := f.earliestReady(fs); next > now {
-					f.engine.At(next, func() { f.dispatch(fs) })
+					f.engine.At(next, fs.redispatch)
 				}
 			}
 			return
@@ -747,7 +868,7 @@ func (f *Fleet) dispatch(fs *fnState) {
 		// Peek, serve, then pop: a mid-request crash leaves the request at
 		// the head of the queue to retry on another container (or a fresh
 		// cold start) — it is only consumed once a response was delivered.
-		arrived := fs.queue[0]
+		arrived := fs.queueHead()
 		st, err := fs.platform.Serve(c, "")
 		if err != nil {
 			if errors.Is(err, faas.ErrContainerCrashed) {
@@ -761,7 +882,7 @@ func (f *Fleet) dispatch(fs *fnState) {
 			f.engine.Stop()
 			return
 		}
-		fs.queue = fs.queue[1:]
+		fs.dequeue()
 		wait := now.Sub(arrived)
 		fs.stats.Requests++
 		fs.stats.E2E.AddDuration(st.E2E + wait)
@@ -776,7 +897,7 @@ func (f *Fleet) dispatch(fs *fnState) {
 			fs.stats.RestoreFaults++
 		}
 		// When this container frees up, it may drain more queue.
-		f.engine.At(st.ReadyAgain, func() { f.dispatch(fs) })
+		f.engine.At(st.ReadyAgain, fs.redispatch)
 	}
 }
 

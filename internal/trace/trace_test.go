@@ -194,7 +194,7 @@ func TestInterarrivalMoments(t *testing.T) {
 		const n = 30000
 		var sum, sumSq float64
 		for i := 0; i < n; i++ {
-			v := float64(fs.interarrival()) / 1e6 // ms
+			v := float64(fs.interarrival(0)) / 1e6 // ms
 			sum += v
 			sumSq += v * v
 		}

@@ -60,10 +60,11 @@ func (as *AddressSpace) MapFrameCoW(vpn uint64, frame mem.FrameID) error {
 	if _, ok := as.FindVMA(PageAddr(vpn)); !ok {
 		return fmt.Errorf("vm: MapFrameCoW of page %#x outside any region", vpn)
 	}
-	if _, ok := as.pages[vpn]; ok {
+	if _, ok := as.pages.get(vpn); ok {
 		return fmt.Errorf("vm: MapFrameCoW of already-resident page %#x", vpn)
 	}
 	as.phys.Ref(frame)
-	as.pages[vpn] = PTE{Frame: frame, cow: true, tlbCold: true}
+	as.logFresh(vpn)
+	as.pages.set(vpn, PTE{Frame: frame, cow: true, tlbCold: true})
 	return nil
 }

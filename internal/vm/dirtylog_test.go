@@ -24,8 +24,8 @@ func dirtyLogSpace(t *testing.T, pages int) (*AddressSpace, uint64) {
 // an exact walk of the page table.
 func mapWalkSoftDirty(as *AddressSpace) []uint64 {
 	var vpns []uint64
-	for vpn, pte := range as.pages {
-		if pte.SoftDirty {
+	for _, vpn := range as.pages.appendVPNs(nil) {
+		if pte, ok := as.pages.get(vpn); ok && pte.SoftDirty {
 			vpns = append(vpns, vpn)
 		}
 	}

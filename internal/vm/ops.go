@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"groundhog/internal/mem"
 	"groundhog/internal/sim"
@@ -148,10 +149,19 @@ func (as *AddressSpace) Madvise(start Addr, bytes int) error {
 	end := start + Addr(PageCeil(bytes))
 	pages := 0
 	for vpn := start.PageNum(); vpn < end.PageNum(); vpn++ {
-		if _, ok := as.pages[vpn]; ok {
-			as.DropPage(vpn)
+		if pte, ok := as.pages.delete(vpn); ok {
+			as.phys.Unref(pte.Frame)
 			pages++
 		}
+	}
+	if pages > 0 {
+		// Dropping resident pages silently diverges memory from the
+		// snapshot without marking anything dirty; the restore fast path
+		// cannot see it, so disarm the fresh log and force the next restore
+		// through the exact walk. ClearSoftDirty re-arms for the epoch
+		// after (the restorer's own drops land between its gate check and
+		// its re-arm, so steady-state epochs stay on the fast path).
+		as.freshLogArmed = false
 	}
 	as.chargeSyscall(pages)
 	return nil
@@ -220,18 +230,17 @@ func (as *AddressSpace) Mremap(start Addr, oldBytes, newBytes int) (Addr, error)
 		return 0, err
 	}
 	as.mmapNext = dst
-	// Relocating PTEs carries soft-dirty bits to new page numbers the dirty
-	// log cannot know about; disarm it so dirty reads fall back to the exact
-	// page-table walk until the next ClearSoftDirty re-arms.
+	// Relocating PTEs carries soft-dirty bits — and residency — to new page
+	// numbers the incremental logs cannot know about; disarm both so reads
+	// fall back to the exact page-table walk until ClearSoftDirty re-arms.
 	as.dirtyLogArmed = false
+	as.freshLogArmed = false
 	for vpn := start.PageNum(); vpn < (start + Addr(oldSize)).PageNum(); vpn++ {
-		pte, ok := as.pages[vpn]
+		pte, ok := as.pages.delete(vpn)
 		if !ok {
 			continue
 		}
-		newVPN := dst.PageNum() + (vpn - start.PageNum())
-		as.pages[newVPN] = pte
-		delete(as.pages, vpn)
+		as.pages.set(dst.PageNum()+(vpn-start.PageNum()), pte)
 	}
 	as.carve(start, start+Addr(oldSize))
 	as.chargeSyscall(oldSize / mem.PageSize)
@@ -268,27 +277,41 @@ func (as *AddressSpace) Fork() *AddressSpace {
 	copy(child.vmas, as.vmas)
 	child.brkBase, child.brk = as.brkBase, as.brk
 	child.mmapNext = as.mmapNext
-	for vpn, pte := range as.pages {
-		as.phys.Ref(pte.Frame)
-		v, _ := as.FindVMA(PageAddr(vpn))
-		shared := pte
-		if v.Prot&ProtWrite != 0 {
-			shared.cow = true
+	child.pages.chunks = make([]*pageChunk, 0, len(as.pages.chunks))
+	for _, c := range as.pages.chunks {
+		cc := &pageChunk{base: c.base, n: c.n, bitmap: c.bitmap}
+		for w, word := range c.bitmap {
+			for ; word != 0; word &= word - 1 {
+				i := uint64(w<<6) + uint64(bits.TrailingZeros64(word))
+				pte := &c.entries[i]
+				as.phys.Ref(pte.Frame)
+				v, _ := as.FindVMA(PageAddr(c.base + i))
+				if v.Prot&ProtWrite != 0 {
+					pte.cow = true
+				}
+				// Parent keeps its TLB state; the child starts cold.
+				childPTE := *pte
+				childPTE.tlbCold = true
+				cc.entries[i] = childPTE
+			}
 		}
-		// Parent keeps its TLB state; the child starts cold.
-		childPTE := shared
-		childPTE.tlbCold = true
-		child.pages[vpn] = childPTE
-		as.pages[vpn] = shared
+		child.pages.chunks = append(child.pages.chunks, cc)
 	}
+	child.pages.total = as.pages.total
 	return child
 }
 
 // Release drops every backing frame. Call when the process exits so the
 // physical pool's accounting stays accurate.
 func (as *AddressSpace) Release() {
-	for vpn := range as.pages {
-		as.DropPage(vpn)
+	for _, c := range as.pages.chunks {
+		for w, word := range c.bitmap {
+			for ; word != 0; word &= word - 1 {
+				i := uint64(w<<6) + uint64(bits.TrailingZeros64(word))
+				as.phys.Unref(c.entries[i].Frame)
+			}
+		}
 	}
+	as.pages.reset()
 	as.vmas = nil
 }

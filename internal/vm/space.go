@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
 	"sort"
 
@@ -50,8 +51,9 @@ type AddressSpace struct {
 	costs Costs
 	meter *sim.Meter
 
-	vmas  []VMA          // sorted by Start, non-overlapping
-	pages map[uint64]PTE // vpn -> PTE
+	vmas    []VMA     // sorted by Start, non-overlapping
+	lastVMA int       // index of the last FindVMA hit (self-validating cache)
+	pages   pageTable // sparse chunked page table (see pagetable.go)
 
 	brkBase Addr // start of the heap region (fixed)
 	brk     Addr // current program break (page-aligned here)
@@ -70,20 +72,37 @@ type AddressSpace struct {
 	// allocations.
 	runFrames []mem.FrameID
 
-	// dirtyLog is the incremental dirty set maintained under UFFD tracking:
-	// every write fault that turns a page's soft-dirty bit on appends the
-	// page number here — the simulated equivalent of the user-space fault
-	// handler accumulating the dirty set during the request, which is why
-	// UFFD dirty-set reads cost per dirty page instead of a pagemap scan.
-	// ClearSoftDirty arms (and truncates) the log; AppendSoftDirtyVPNs
-	// reads it, sorting lazily and validating entries against the page
-	// table so dropped pages and drop-then-redirty duplicates never leak
-	// into the result. Page-table surgery that relocates PTEs (mremap's
-	// move path) disarms the log, falling back to the exact map walk until
-	// the next re-arm.
+	// dirtyLog is the incremental dirty set: every write fault that turns a
+	// page's soft-dirty bit on appends the page number here. Under UFFD
+	// tracking it is the simulated equivalent of the user-space fault
+	// handler accumulating the dirty set during the request (which is why
+	// UFFD dirty-set reads cost per dirty page instead of a pagemap scan);
+	// under soft-dirty tracking the log carries no cost-model meaning —
+	// the traced process still pays full pagemap-scan prices — but it lets
+	// the simulator's restore data path skip the O(resident) walk whose
+	// virtual cost it charges, which is what makes million-request fleet
+	// runs wall-clock feasible. ClearSoftDirty arms (and truncates) the
+	// log; AppendSoftDirtyVPNs reads it, sorting lazily and validating
+	// entries against the page table so dropped pages and
+	// drop-then-redirty duplicates never leak into the result. Page-table
+	// surgery that relocates PTEs (mremap's move path) disarms the log,
+	// falling back to the exact map walk until the next re-arm.
 	dirtyLog       []uint64
 	dirtyLogSorted bool
 	dirtyLogArmed  bool
+
+	// freshLog is the dirty log's residency twin: every page that
+	// transitions from absent to resident (demand-zero faults, restore
+	// pokes, CoW frame mappings) appends its page number here. The restore
+	// fast path reads it to find pages mapped in since the last epoch —
+	// the candidates for the madvise drop set — without walking the
+	// resident set it is charging for. Armed and truncated by
+	// ClearSoftDirty, invalidated by the same PTE surgery that disarms the
+	// dirty log; entries are validated against the page table at read time
+	// (a fresh page dropped again within the epoch must not resurface).
+	freshLog       []uint64
+	freshLogSorted bool
+	freshLogArmed  bool
 }
 
 // New returns an empty address space backed by phys with the given cost
@@ -92,7 +111,6 @@ func New(phys *mem.PhysMem, costs Costs) *AddressSpace {
 	return &AddressSpace{
 		phys:     phys,
 		costs:    costs,
-		pages:    make(map[uint64]PTE),
 		mmapNext: MmapTop,
 	}
 }
@@ -125,6 +143,8 @@ func (as *AddressSpace) SetUffdTracking(on bool) {
 	if on != as.uffd {
 		as.dirtyLog = as.dirtyLog[:0]
 		as.dirtyLogArmed = false
+		as.freshLog = as.freshLog[:0]
+		as.freshLogArmed = false
 	}
 	as.uffd = on
 }
@@ -154,10 +174,17 @@ func (as *AddressSpace) AppendVMAs(buf []VMA) []VMA {
 // NumVMAs returns the number of regions.
 func (as *AddressSpace) NumVMAs() int { return len(as.vmas) }
 
-// FindVMA returns the region containing a, if any.
+// FindVMA returns the region containing a, if any. A last-hit index makes
+// the repeated lookups of a workload touching one region (every word access
+// resolves its VMA) a single bounds check; the cache self-validates with
+// Contains, so region-list mutations need no invalidation hook.
 func (as *AddressSpace) FindVMA(a Addr) (VMA, bool) {
+	if i := as.lastVMA; i < len(as.vmas) && as.vmas[i].Contains(a) {
+		return as.vmas[i], true
+	}
 	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].End > a })
 	if i < len(as.vmas) && as.vmas[i].Contains(a) {
+		as.lastVMA = i
 		return as.vmas[i], true
 	}
 	return VMA{}, false
@@ -246,7 +273,7 @@ func (as *AddressSpace) MappedPages() int {
 }
 
 // ResidentPages returns the number of pages with a backing frame (RSS).
-func (as *AddressSpace) ResidentPages() int { return len(as.pages) }
+func (as *AddressSpace) ResidentPages() int { return as.pages.len() }
 
 // --- access path ----------------------------------------------------------
 
@@ -286,12 +313,13 @@ func (as *AddressSpace) resolve(a Addr, write bool) VMA {
 // fault ensures a resident, writable-as-needed PTE for vpn, charging fault
 // costs. It implements the demand-zero, CoW and soft-dirty fault paths.
 func (as *AddressSpace) fault(vpn uint64, write bool) PTE {
-	pte, ok := as.pages[vpn]
-	if !ok {
+	pte := as.pages.ref(vpn)
+	if pte == nil {
 		// Demand-zero minor fault.
-		pte = PTE{Frame: as.phys.Alloc()}
+		pte = as.pages.set(vpn, PTE{Frame: as.phys.Alloc()})
 		as.faults.Minor++
 		as.charge(as.costs.MinorFault)
+		as.logFresh(vpn)
 	}
 	if pte.tlbCold {
 		as.faults.FirstTouch++
@@ -330,8 +358,7 @@ func (as *AddressSpace) fault(vpn uint64, write bool) PTE {
 		}
 		pte.SoftDirty = true
 	}
-	as.pages[vpn] = pte
-	return pte
+	return *pte
 }
 
 // logDirty appends vpn to the dirty log, tracking whether insertion order
@@ -342,6 +369,18 @@ func (as *AddressSpace) logDirty(vpn uint64) {
 		as.dirtyLogSorted = false
 	}
 	as.dirtyLog = append(as.dirtyLog, vpn)
+}
+
+// logFresh appends a newly resident page to the fresh log (see freshLog),
+// with the same lazy-sort bookkeeping as logDirty.
+func (as *AddressSpace) logFresh(vpn uint64) {
+	if !as.freshLogArmed {
+		return
+	}
+	if n := len(as.freshLog); n > 0 && vpn < as.freshLog[n-1] {
+		as.freshLogSorted = false
+	}
+	as.freshLog = append(as.freshLog, vpn)
 }
 
 // ReadWord loads the 8-byte word at a, taking faults as needed.
@@ -380,25 +419,35 @@ func (as *AddressSpace) DirtyPage(vpn uint64, v uint64) {
 
 // PTEAt returns the page-table entry for vpn, if resident.
 func (as *AddressSpace) PTEAt(vpn uint64) (PTE, bool) {
-	pte, ok := as.pages[vpn]
-	return pte, ok
+	return as.pages.get(vpn)
+}
+
+// PagemapEntry is one resident page's pagemap view: its page number and
+// soft-dirty bit.
+type PagemapEntry struct {
+	VPN       uint64
+	SoftDirty bool
+}
+
+// AppendPagemapRange appends a PagemapEntry for every resident page in
+// [lo, hi) to dst in sorted order and returns the extended slice. It is the
+// bulk form of PTEAt for pagemap-style scans: the walk costs the resident
+// pages of the range, not its span.
+func (as *AddressSpace) AppendPagemapRange(lo, hi uint64, dst []PagemapEntry) []PagemapEntry {
+	return as.pages.appendRange(lo, hi, dst)
 }
 
 // ResidentVPNs returns the sorted list of resident virtual page numbers.
 func (as *AddressSpace) ResidentVPNs() []uint64 {
-	return as.AppendResidentVPNs(make([]uint64, 0, len(as.pages)))
+	return as.AppendResidentVPNs(make([]uint64, 0, as.pages.len()))
 }
 
 // AppendResidentVPNs appends the sorted resident virtual page numbers to dst
 // and returns the extended slice. Callers that reuse dst across calls read
-// the resident set without allocating.
+// the resident set without allocating. The chunked page table stores entries
+// in address order, so the walk is linear and needs no sort.
 func (as *AddressSpace) AppendResidentVPNs(dst []uint64) []uint64 {
-	start := len(dst)
-	for vpn := range as.pages {
-		dst = append(dst, vpn)
-	}
-	slices.Sort(dst[start:])
-	return dst
+	return as.pages.appendVPNs(dst)
 }
 
 // PeekPage copies the contents of page vpn into a fresh buffer, or returns
@@ -406,7 +455,7 @@ func (as *AddressSpace) AppendResidentVPNs(dst []uint64) []uint64 {
 // used by the snapshotter; it does not fault, charge, or perturb soft-dirty
 // state.
 func (as *AddressSpace) PeekPage(vpn uint64) []byte {
-	pte, ok := as.pages[vpn]
+	pte, ok := as.pages.get(vpn)
 	if !ok {
 		return nil
 	}
@@ -418,7 +467,7 @@ func (as *AddressSpace) PeekPage(vpn uint64) []byte {
 // zero=true means the page is all-zero and buf was left untouched. Unlike
 // PeekPage it never allocates, so bulk snapshotting can reuse one arena.
 func (as *AddressSpace) PeekPageInto(vpn uint64, buf []byte) (zero, ok bool) {
-	pte, resident := as.pages[vpn]
+	pte, resident := as.pages.get(vpn)
 	if !resident {
 		return false, false
 	}
@@ -431,20 +480,19 @@ func (as *AddressSpace) PeekPageInto(vpn uint64, buf []byte) (zero, ok bool) {
 
 // pokePTE ensures vpn has a privately owned frame the restorer may overwrite:
 // it allocates one for non-resident pages and breaks CoW sharing for shared
-// ones, returning the updated entry. The caller must store the PTE back after
-// writing.
-func (as *AddressSpace) pokePTE(vpn uint64) PTE {
-	pte, ok := as.pages[vpn]
-	if !ok {
-		pte = PTE{Frame: as.phys.Alloc()}
-	} else if pte.cow && as.phys.Refs(pte.Frame) > 1 {
+// ones, returning a pointer to the live (already stored) entry.
+func (as *AddressSpace) pokePTE(vpn uint64) *PTE {
+	pte := as.pages.ref(vpn)
+	if pte == nil {
+		as.logFresh(vpn)
+		return as.pages.set(vpn, PTE{Frame: as.phys.Alloc()})
+	}
+	if pte.cow && as.phys.Refs(pte.Frame) > 1 {
 		f := as.phys.Clone(pte.Frame)
 		as.phys.Unref(pte.Frame)
 		pte.Frame = f
-		pte.cow = false
-	} else {
-		pte.cow = false
 	}
+	pte.cow = false
 	return pte
 }
 
@@ -456,7 +504,6 @@ func (as *AddressSpace) pokePTE(vpn uint64) PTE {
 func (as *AddressSpace) PokePage(vpn uint64, data []byte) {
 	pte := as.pokePTE(vpn)
 	as.phys.RestoreInto(pte.Frame, data)
-	as.pages[vpn] = pte
 }
 
 // PokePageRun overwrites the n consecutive pages starting at startVPN with
@@ -471,9 +518,7 @@ func (as *AddressSpace) PokePageRun(startVPN uint64, n int, data []byte) {
 	}
 	frames := as.runFrames[:0]
 	for i := 0; i < n; i++ {
-		pte := as.pokePTE(startVPN + uint64(i))
-		as.pages[startVPN+uint64(i)] = pte
-		frames = append(frames, pte.Frame)
+		frames = append(frames, as.pokePTE(startVPN+uint64(i)).Frame)
 	}
 	as.phys.RestoreRun(frames, data)
 	as.runFrames = frames[:0]
@@ -487,10 +532,7 @@ func (as *AddressSpace) PokePageRun(startVPN uint64, n int, data []byte) {
 func (as *AddressSpace) PokeFrameRun(startVPN uint64, src []mem.FrameID) {
 	frames := as.runFrames[:0]
 	for i := range src {
-		vpn := startVPN + uint64(i)
-		pte := as.pokePTE(vpn)
-		as.pages[vpn] = pte
-		frames = append(frames, pte.Frame)
+		frames = append(frames, as.pokePTE(startVPN+uint64(i)).Frame)
 	}
 	as.phys.CopyRun(frames, src)
 	as.runFrames = frames[:0]
@@ -502,13 +544,12 @@ func (as *AddressSpace) PokeFrameRun(startVPN uint64, src []mem.FrameID) {
 // primitive behind the §5.5 state-store optimization — the snapshot *is* the
 // frame, no eager copy. The caller owns one reference and must Unref it.
 func (as *AddressSpace) ShareFrameCoW(vpn uint64) (mem.FrameID, bool) {
-	pte, ok := as.pages[vpn]
-	if !ok {
+	pte := as.pages.ref(vpn)
+	if pte == nil {
 		return mem.NoFrame, false
 	}
 	as.phys.Ref(pte.Frame)
 	pte.cow = true
-	as.pages[vpn] = pte
 	return pte.Frame, true
 }
 
@@ -519,15 +560,13 @@ func (as *AddressSpace) ShareFrameCoW(vpn uint64) (mem.FrameID, bool) {
 func (as *AddressSpace) PokePageFromFrame(vpn uint64, src mem.FrameID) {
 	pte := as.pokePTE(vpn)
 	as.phys.Copy(pte.Frame, src)
-	as.pages[vpn] = pte
 }
 
 // DropPage removes the backing frame for vpn if resident (madvise DONTNEED
 // semantics: the next touch demand-zero faults).
 func (as *AddressSpace) DropPage(vpn uint64) {
-	if pte, ok := as.pages[vpn]; ok {
+	if pte, ok := as.pages.delete(vpn); ok {
 		as.phys.Unref(pte.Frame)
-		delete(as.pages, vpn)
 	}
 }
 
@@ -536,19 +575,45 @@ func (as *AddressSpace) DropPage(vpn uint64) {
 // ClearSoftDirty clears every resident page's soft-dirty bit and write-
 // protects it so the next write faults and re-records the bit. It returns
 // the number of entries walked. This models writing "4" to
-// /proc/pid/clear_refs. Under UFFD tracking it also arms the dirty log: the
-// write-protect faults taken from here on accumulate the next epoch's dirty
-// set incrementally, so reading it back never walks the page table.
+// /proc/pid/clear_refs. It also arms the dirty and fresh logs: the faults
+// taken from here on accumulate the next epoch's dirty and newly-resident
+// sets incrementally, so reading them back never walks the page table.
+// (Under UFFD tracking the dirty log is also the cost model — the
+// user-space handler really does accumulate the set; under soft-dirty it
+// is a simulator-internal index and the pagemap-scan prices still apply.)
 func (as *AddressSpace) ClearSoftDirty() int {
-	for vpn, pte := range as.pages {
-		pte.SoftDirty = false
-		pte.wpArmed = true
-		as.pages[vpn] = pte
+	n := as.pages.len()
+	if as.dirtyLogArmed && as.freshLogArmed {
+		// Logged epoch: the full page-table walk is redundant. Only pages
+		// written this epoch carry a soft-dirty bit (they are in the dirty
+		// log), and the only resident pages whose write protection is
+		// disarmed are those same written pages plus the pages that became
+		// resident this epoch (fresh log — demand-zero and poked PTEs are
+		// born unarmed). Everything else was armed by the previous clear
+		// and untouched since. The modeled clear_refs write still walks,
+		// which is why the caller's ClearRefsPerPage charge uses the full
+		// resident count either way.
+		for _, vpn := range as.dirtyLog {
+			if pte := as.pages.ref(vpn); pte != nil {
+				pte.SoftDirty = false
+				pte.wpArmed = true
+			}
+		}
+		for _, vpn := range as.freshLog {
+			if pte := as.pages.ref(vpn); pte != nil {
+				pte.wpArmed = true
+			}
+		}
+	} else {
+		n = as.pages.clearSoftDirty()
 	}
 	as.dirtyLog = as.dirtyLog[:0]
 	as.dirtyLogSorted = true
-	as.dirtyLogArmed = as.uffd
-	return len(as.pages)
+	as.dirtyLogArmed = true
+	as.freshLog = as.freshLog[:0]
+	as.freshLogSorted = true
+	as.freshLogArmed = true
+	return n
 }
 
 // DirtyLogArmed reports whether the dirty log covers the current epoch, i.e.
@@ -567,19 +632,14 @@ func (as *AddressSpace) SoftDirtyVPNs() []uint64 {
 // is set to dst and returns the extended slice. When the dirty log is armed
 // (UFFD tracking, since the last ClearSoftDirty) the result comes from the
 // log — cost proportional to the dirty set, never a page-table walk;
-// otherwise it falls back to the exact map walk. Either way the appended
-// region is sorted and duplicate-free, and callers that reuse dst across
-// calls read the dirty set without allocating.
+// otherwise it falls back to the exact page-table walk (linear over the
+// chunked table, sorted by construction). Either way the appended region is
+// sorted and duplicate-free, and callers that reuse dst across calls read
+// the dirty set without allocating.
 func (as *AddressSpace) AppendSoftDirtyVPNs(dst []uint64) []uint64 {
 	start := len(dst)
 	if !as.dirtyLogArmed {
-		for vpn, pte := range as.pages {
-			if pte.SoftDirty {
-				dst = append(dst, vpn)
-			}
-		}
-		slices.Sort(dst[start:])
-		return dst
+		return as.pages.appendSoftDirtyVPNs(dst)
 	}
 	if !as.dirtyLogSorted {
 		slices.Sort(as.dirtyLog)
@@ -591,7 +651,37 @@ func (as *AddressSpace) AppendSoftDirtyVPNs(dst []uint64) []uint64 {
 		}
 		// A logged page may have been dropped (madvise DONTNEED) since the
 		// fault; only pages still resident and dirty count.
-		if pte, ok := as.pages[vpn]; ok && pte.SoftDirty {
+		if pte, ok := as.pages.get(vpn); ok && pte.SoftDirty {
+			dst = append(dst, vpn)
+		}
+	}
+	return dst
+}
+
+// FreshLogArmed reports whether the fresh log covers the current epoch,
+// i.e. AppendFreshVPNs returns exactly the pages mapped in since the last
+// ClearSoftDirty.
+func (as *AddressSpace) FreshLogArmed() bool { return as.freshLogArmed }
+
+// AppendFreshVPNs appends the sorted, duplicate-free page numbers that
+// became resident since the last ClearSoftDirty and still are, to dst. It
+// must only be called while the fresh log is armed (FreshLogArmed); the
+// restore fast path uses it to find madvise candidates without walking the
+// resident set.
+func (as *AddressSpace) AppendFreshVPNs(dst []uint64) []uint64 {
+	if !as.freshLogArmed {
+		panic("vm: AppendFreshVPNs with the fresh log disarmed")
+	}
+	if !as.freshLogSorted {
+		slices.Sort(as.freshLog)
+		as.freshLogSorted = true
+	}
+	start := len(dst)
+	for _, vpn := range as.freshLog {
+		if n := len(dst); n > start && dst[n-1] == vpn {
+			continue // dropped and re-faulted within the epoch
+		}
+		if _, ok := as.pages.get(vpn); ok {
 			dst = append(dst, vpn)
 		}
 	}
@@ -612,7 +702,27 @@ func (as *AddressSpace) CheckInvariants() error {
 			return fmt.Errorf("vm: VMAs out of order or overlapping: %v then %v", as.vmas[i-1], v)
 		}
 	}
-	for vpn := range as.pages {
+	total := 0
+	for i, c := range as.pages.chunks {
+		if c.base&chunkMask != 0 {
+			return fmt.Errorf("vm: page-table chunk base %#x unaligned", c.base)
+		}
+		if i > 0 && as.pages.chunks[i-1].base >= c.base {
+			return fmt.Errorf("vm: page-table chunks out of order at %#x", c.base)
+		}
+		pop := 0
+		for _, w := range c.bitmap {
+			pop += bits.OnesCount64(w)
+		}
+		if pop != c.n || c.n == 0 {
+			return fmt.Errorf("vm: page-table chunk %#x population %d, bitmap %d", c.base, c.n, pop)
+		}
+		total += c.n
+	}
+	if total != as.pages.total {
+		return fmt.Errorf("vm: page-table total %d, chunks hold %d", as.pages.total, total)
+	}
+	for _, vpn := range as.pages.appendVPNs(nil) {
 		if _, ok := as.FindVMA(PageAddr(vpn)); !ok {
 			return fmt.Errorf("vm: resident page %#x outside any VMA", vpn)
 		}
