@@ -7,6 +7,12 @@
 //
 //	benchdiff -baseline bench/baselines/BENCH_restore.json -current BENCH_restore.json
 //	benchdiff -baseline bench/baselines/BENCH_coldstart.json -current BENCH_coldstart.json -max-drift 0.25
+//	benchdiff -baseline ... -current ... -summary "$GITHUB_STEP_SUMMARY" -title cluster
+//
+// With -summary, a markdown table of every gated metric (baseline, current,
+// delta, rule, verdict) is appended to the given file — CI points it at
+// $GITHUB_STEP_SUMMARY so each run's headline numbers land on the job page,
+// pass or fail.
 //
 // Wall-clock and allocation-byte figures are machine-dependent and ignored;
 // see internal/benchdiff for the full per-field policy. To re-baseline after
@@ -18,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"groundhog/internal/benchdiff"
 )
@@ -28,6 +35,10 @@ func main() {
 		currentPath  = flag.String("current", "", "freshly generated JSON (required)")
 		maxDrift     = flag.Float64("max-drift", benchdiff.DefaultMaxDrift,
 			"relative drift tolerance for virtual costs and frame counts")
+		summaryPath = flag.String("summary", "",
+			"append a markdown table of gated metrics to this file (e.g. $GITHUB_STEP_SUMMARY); written before a failing exit")
+		title = flag.String("title", "",
+			"heading for the -summary table (defaults to the current file's name)")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -49,6 +60,29 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
+	}
+	// The summary is appended before the verdict decides the exit code, so a
+	// failing gate still publishes its table to the CI job summary.
+	if *summaryPath != "" {
+		if *title == "" {
+			*title = filepath.Base(*currentPath)
+		}
+		md, err := benchdiff.Summary(*title, baseline, current, *maxDrift)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: summary: %v\n", err)
+			os.Exit(2)
+		}
+		f, err := os.OpenFile(*summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, err = f.WriteString(md)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: summary: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if len(violations) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %s vs %s: %d violation(s)\n",

@@ -30,7 +30,7 @@ var experimentNames = []string{
 	"ablation-uffd", "ablation-coalesce", "ablation-trust", "ablation-statestore",
 	"ablation-timevirt", "loadsweep", "related-work", "fleet", "bench-restore",
 	"bench-coldstart", "bench-fleet", "bench-policy", "bench-faults",
-	"bench-fleet-xl",
+	"bench-fleet-xl", "bench-cluster",
 }
 
 func main() {
@@ -53,6 +53,8 @@ func main() {
 		"output path for the bench-faults JSON summary (empty disables)")
 	flag.StringVar(&fleetXLJSONPath, "fleet-xl-json", "BENCH_fleet_xl.json",
 		"output path for the bench-fleet-xl JSON summary (empty disables)")
+	flag.StringVar(&clusterJSONPath, "cluster-json", "BENCH_cluster.json",
+		"output path for the bench-cluster JSON summary (empty disables)")
 	flag.Parse()
 
 	if *list {
@@ -187,6 +189,8 @@ func run(cfg experiments.Config, names []string, quick bool) error {
 			tb, err = benchFaults(cfg, quick)
 		case "bench-fleet-xl":
 			tb, err = benchFleetXL(cfg, quick)
+		case "bench-cluster":
+			tb, err = benchCluster(cfg, quick)
 		default:
 			return fmt.Errorf("unknown experiment %q (try -list)", name)
 		}
@@ -335,4 +339,25 @@ func benchFleetXL(cfg experiments.Config, quick bool) (*metrics.Table, error) {
 		return nil, err
 	}
 	return experiments.FleetXLBenchTable(res), nil
+}
+
+// clusterJSONPath is where benchCluster writes its summary.
+var clusterJSONPath string
+
+// benchCluster runs the multi-host placement benchmark — the bursty
+// multi-function workload on a 4-host GH cluster, once per placer
+// (locality-aware, round-robin, pack-first), each under the same fault
+// plan, a mid-run host failure, and a drain — and writes BENCH_cluster.json
+// (one array entry per placer) so CI can hold the cluster invariants:
+// lost_requests and leaked_frames identity-gated at zero, cold-start cost,
+// transfer cost, latency tail, and frame counts drift-gated.
+func benchCluster(cfg experiments.Config, quick bool) (*metrics.Table, error) {
+	res, err := experiments.ClusterBench(cfg, quick)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeBenchJSON(clusterJSONPath, res); err != nil {
+		return nil, err
+	}
+	return experiments.ClusterBenchTable(res), nil
 }

@@ -20,11 +20,15 @@ func main() {
 	var (
 		addr  = flag.String("addr", "127.0.0.1:8080", "listen address")
 		trust = flag.Bool("trust-same-caller", false, "enable the §4.4 trusted-caller optimization")
+		hosts = flag.Int("hosts", server.DefaultHosts, "simulated hosts deployments are spread across")
 	)
 	flag.Parse()
 
 	s := server.New()
 	s.SetTrustSameCaller(*trust)
+	if err := s.SetHosts(*hosts); err != nil {
+		log.Fatal(err)
+	}
 	log.Printf("ghserve: simulated FaaS platform listening on %s", *addr)
 	log.Printf("ghserve: try  curl -s -X POST '%s/invoke?fn=get-time%%20(p)&mode=gh'", *addr)
 	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {

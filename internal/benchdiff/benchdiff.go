@@ -75,24 +75,11 @@ func Compare(baseline, current []byte, maxDrift float64) ([]Violation, error) {
 	if maxDrift <= 0 {
 		maxDrift = DefaultMaxDrift
 	}
-	var bdoc, cdoc any
-	if err := json.Unmarshal(baseline, &bdoc); err != nil {
-		return nil, fmt.Errorf("benchdiff: baseline: %w", err)
+	bleaves, cleaves, paths, err := flattenDocs(baseline, current)
+	if err != nil {
+		return nil, err
 	}
-	if err := json.Unmarshal(current, &cdoc); err != nil {
-		return nil, fmt.Errorf("benchdiff: current: %w", err)
-	}
-	bleaves := map[string]any{}
-	cleaves := map[string]any{}
-	flatten("", bdoc, bleaves)
-	flatten("", cdoc, cleaves)
-
 	var out []Violation
-	paths := make([]string, 0, len(bleaves))
-	for p := range bleaves {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
 	for _, p := range paths {
 		bv := bleaves[p]
 		cv, ok := cleaves[p]
@@ -106,6 +93,28 @@ func Compare(baseline, current []byte, maxDrift float64) ([]Violation, error) {
 		}
 	}
 	return out, nil
+}
+
+// flattenDocs parses both documents and returns their leaf maps plus the
+// baseline's paths in sorted order (the iteration order of every report).
+func flattenDocs(baseline, current []byte) (bleaves, cleaves map[string]any, paths []string, err error) {
+	var bdoc, cdoc any
+	if err := json.Unmarshal(baseline, &bdoc); err != nil {
+		return nil, nil, nil, fmt.Errorf("benchdiff: baseline: %w", err)
+	}
+	if err := json.Unmarshal(current, &cdoc); err != nil {
+		return nil, nil, nil, fmt.Errorf("benchdiff: current: %w", err)
+	}
+	bleaves = map[string]any{}
+	cleaves = map[string]any{}
+	flatten("", bdoc, bleaves)
+	flatten("", cdoc, cleaves)
+	paths = make([]string, 0, len(bleaves))
+	for p := range bleaves {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return bleaves, cleaves, paths, nil
 }
 
 // flatten records every leaf of a decoded JSON document under its path.
@@ -192,6 +201,100 @@ func check(path string, bv, cv any, maxDrift float64) (Violation, bool) {
 	// Everything else (wall_ns, alloc bytes, derived ratios, page counts
 	// already pinned by tests) is informational.
 	return Violation{}, false
+}
+
+// gateRule names the policy check applies to a leaf; "" means the leaf is
+// informational (wall-clock, byte counters) and does not gate the build.
+// It must stay in lockstep with check's switch — TestSummaryMatchesGate
+// cross-checks the two.
+func gateRule(path string, bv any, maxDrift float64) string {
+	if _, isNum := bv.(float64); !isNum {
+		return "identity"
+	}
+	name := strings.ToLower(leafName(path))
+	switch {
+	case name == "leaked_frames" || name == "lost_requests":
+		return "invariant (exact)"
+	case strings.Contains(name, "allocs"):
+		return fmt.Sprintf("allocs (+%.1f slack)", AllocSlack)
+	case strings.Contains(name, "per_sec"):
+		return fmt.Sprintf("floor (>=%.0f%% of baseline)", PerSecFloorRatio*100)
+	case strings.HasSuffix(name, "_us") || strings.Contains(name, "virtual") ||
+		strings.HasSuffix(name, "frames_in_use") || name == "end_frames":
+		return fmt.Sprintf("drift <=%.0f%%", maxDrift*100)
+	}
+	return ""
+}
+
+// Summary renders the gated leaves of a baseline/current pair as a GitHub
+// job-summary markdown fragment: a level-3 heading followed by one table row
+// per gated metric — pass or fail — so a green run still publishes its
+// headline numbers. Informational leaves are counted but not listed.
+// maxDrift <= 0 selects DefaultMaxDrift.
+func Summary(title string, baseline, current []byte, maxDrift float64) (string, error) {
+	if maxDrift <= 0 {
+		maxDrift = DefaultMaxDrift
+	}
+	bleaves, cleaves, paths, err := flattenDocs(baseline, current)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", title)
+	b.WriteString("| metric | baseline | current | Δ | rule | |\n")
+	b.WriteString("|---|---:|---:|---:|---|---|\n")
+	informational, failed := 0, 0
+	for _, p := range paths {
+		bv := bleaves[p]
+		rule := gateRule(p, bv, maxDrift)
+		if rule == "" {
+			informational++
+			continue
+		}
+		cv, ok := cleaves[p]
+		cur, delta, status := "-", "-", ":white_check_mark:"
+		if !ok {
+			status = ":x: missing"
+			failed++
+		} else {
+			cur = leafString(cv)
+			delta = leafDelta(bv, cv)
+			if v, bad := check(p, bv, cv, maxDrift); bad {
+				status = ":x: " + v.Reason
+				failed++
+			}
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s | %s |\n",
+			p, leafString(bv), cur, delta, rule, status)
+	}
+	fmt.Fprintf(&b, "\n%d gated metric(s) failed; %d informational leaves not shown.\n\n",
+		failed, informational)
+	return b.String(), nil
+}
+
+// leafDelta formats the current-vs-baseline change of one leaf pair.
+func leafDelta(bv, cv any) string {
+	bn, bIsNum := bv.(float64)
+	cn, cIsNum := cv.(float64)
+	if !bIsNum || !cIsNum {
+		if leafString(bv) == leafString(cv) {
+			return "-"
+		}
+		return "changed"
+	}
+	d := cn - bn
+	signed := fmtNum(d)
+	if d >= 0 {
+		signed = "+" + signed
+	}
+	switch {
+	case d == 0:
+		return "0"
+	case bn != 0:
+		return fmt.Sprintf("%s (%+.1f%%)", signed, d/bn*100)
+	default:
+		return signed
+	}
 }
 
 func fmtNum(f float64) string {

@@ -265,3 +265,69 @@ func TestRetainedAllocsPerRequestGated(t *testing.T) {
 		t.Fatalf("retained-alloc regression not flagged: %v", vs)
 	}
 }
+
+// TestSummaryListsGatedLeavesOnly: the job-summary table carries one row per
+// gated leaf (pass or fail), hides informational leaves, and flags failures
+// with the same reason the gate reports.
+func TestSummaryListsGatedLeavesOnly(t *testing.T) {
+	cur := strings.Replace(baseline, `"virtual_us_per_restore": 812.4`, `"virtual_us_per_restore": 1100`, 1)
+	cur = strings.Replace(cur, `"wall_ns_per_restore": 41000`, `"wall_ns_per_restore": 999999`, 1)
+	s, err := Summary("restore", []byte(baseline), []byte(cur), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(s, "### restore\n") {
+		t.Fatalf("summary missing title heading:\n%s", s)
+	}
+	if strings.Contains(s, "wall_ns_per_restore") {
+		t.Fatalf("informational wall-clock leaf listed:\n%s", s)
+	}
+	if !strings.Contains(s, "virtual_us_per_restore") || !strings.Contains(s, ":x:") ||
+		!strings.Contains(s, "drift") {
+		t.Fatalf("drifted leaf not flagged:\n%s", s)
+	}
+	// A clean pair renders all-green with the same row set.
+	s, err = Summary("restore", []byte(baseline), []byte(baseline), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(s, ":x:") || !strings.Contains(s, ":white_check_mark:") {
+		t.Fatalf("identical runs rendered a failure:\n%s", s)
+	}
+	if !strings.Contains(s, "0 gated metric(s) failed") {
+		t.Fatalf("summary footer missing:\n%s", s)
+	}
+}
+
+// TestSummaryMatchesGate cross-checks gateRule against check: every leaf
+// gateRule calls informational must pass check under arbitrary numeric
+// change, and every violation Compare reports must sit on a leaf gateRule
+// gates. This keeps the summary table and the exit code telling one story.
+func TestSummaryMatchesGate(t *testing.T) {
+	bleaves, _, paths, err := flattenDocs([]byte(baseline), []byte(baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		bv := bleaves[p]
+		bn, isNum := bv.(float64)
+		if !isNum {
+			continue
+		}
+		rule := gateRule(p, bv, DefaultMaxDrift)
+		if _, bad := check(p, bv, bn*10+17, DefaultMaxDrift); bad && rule == "" {
+			t.Errorf("%s: check gates it but gateRule calls it informational", p)
+		}
+		if _, bad := check(p, bv, bn, DefaultMaxDrift); bad {
+			t.Errorf("%s: unchanged value fails the gate", p)
+		}
+	}
+	// And a missing gated leaf shows up as a failed row.
+	s, err := Summary("t", []byte(baseline), []byte(`[]`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, ":x: missing") {
+		t.Fatalf("missing leaves not flagged:\n%s", s)
+	}
+}

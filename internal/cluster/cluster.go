@@ -1,0 +1,1193 @@
+// Package cluster generalizes the single-box fleet (internal/trace) to N
+// simulated hosts under one virtual clock — the ROADMAP's next order of
+// scale, following the shape of faasd's single-box supervisor spread
+// tinyFaaS-style across nodes. Each host owns its own physical memory,
+// kernel, and per-deployment container pools; a pluggable trace.Placer
+// decides where every scale-up lands; and an image Registry layers
+// cross-host snapshot distribution (pull dedup, per-frame transfer
+// charging, refcount-derived presence) on the PR 4 image lifecycle.
+//
+// The placement decision is the experiment the paper never reaches: a host
+// already holding a deployment's image clones a container in ~1 ms (PR 3),
+// a host without it first pays a per-frame image transfer
+// (kernel.CostModel.ImageTransferBase/PerFrame), and a cold host runs the
+// full Fig. 1 pipeline — so whether clone cheapness favors packing work
+// onto image-warm hosts or spreading it for failure headroom is decided by
+// the Placer, and measured by the bench-cluster benchmark under host
+// failure and drain events.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"groundhog/internal/core"
+	"groundhog/internal/faas"
+	"groundhog/internal/faults"
+	"groundhog/internal/isolation"
+	"groundhog/internal/kernel"
+	"groundhog/internal/metrics"
+	"groundhog/internal/sim"
+	"groundhog/internal/trace"
+)
+
+// Config parameterizes a cluster run.
+type Config struct {
+	Cost kernel.CostModel
+	Mode isolation.Mode
+	Seed uint64
+
+	// Hosts is the number of simulated hosts, each with its own PhysMem,
+	// kernel, and container pools.
+	Hosts int
+
+	// MaxContainersPerFunction caps each deployment's pool cluster-wide.
+	MaxContainersPerFunction int
+	// HostCapacity caps one host's total container count across all
+	// deployments (0 = unlimited); a full host is ineligible for placement.
+	HostCapacity int
+
+	// KeepAlive is the idle TTL after which a warm container is reaped; it
+	// also sets the policy tick cadence (KeepAlive/2), as in trace.
+	KeepAlive sim.Duration
+	// ScaleToZeroAfter, when positive, lets the reaper take a deployment's
+	// cluster-wide pool to zero (semantics as trace.Config).
+	ScaleToZeroAfter sim.Duration
+	// Window is the simulated duration.
+	Window sim.Duration
+
+	// Policy is the scaling policy (how many containers, when to reap);
+	// nil selects FixedTTL{KeepAlive, ScaleToZeroAfter}.
+	Policy trace.Policy
+	// Placer decides which host each scale-up lands on; nil selects
+	// LocalityAware.
+	Placer trace.Placer
+
+	// SLOTargetMs is the fleet-wide p95 target for SLO-aware policies.
+	SLOTargetMs float64
+
+	// Store selects the StateStore kind for every deployment.
+	Store core.StoreKind
+
+	// Faults arms deterministic fault injection. Each host gets its own
+	// injector with the plan's seed perturbed by the host ID, so per-host
+	// decision streams are independent but the run is reproducible.
+	Faults faults.Plan
+
+	// Events schedules host-level failures at fixed offsets into the
+	// window.
+	Events []Event
+}
+
+// EventKind selects a cluster failure event.
+type EventKind string
+
+// The cluster failure events.
+const (
+	// EventHostFail crashes a host: its containers die, its images and
+	// in-flight pulls are released, and it leaves the placement rotation
+	// permanently. Queued requests re-dispatch onto the survivors.
+	EventHostFail EventKind = "host-fail"
+	// EventHostDrain gracefully removes a host (maintenance): same
+	// container/image cleanup as a failure, counted separately.
+	EventHostDrain EventKind = "host-drain"
+)
+
+// Event is one scheduled host failure or drain.
+type Event struct {
+	// At is the event's offset into the window (0 <= At < Window).
+	At sim.Duration
+	// Kind selects the event.
+	Kind EventKind
+	// Host is the targeted host ID.
+	Host int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Hosts < 1 {
+		return fmt.Errorf("cluster: need at least one host")
+	}
+	if c.MaxContainersPerFunction < 1 {
+		return fmt.Errorf("cluster: need at least one container per function")
+	}
+	if c.HostCapacity < 0 {
+		return fmt.Errorf("cluster: negative host capacity")
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("cluster: non-positive window")
+	}
+	if c.KeepAlive <= 0 {
+		return fmt.Errorf("cluster: non-positive keep-alive")
+	}
+	if c.ScaleToZeroAfter < 0 {
+		return fmt.Errorf("cluster: negative scale-to-zero TTL")
+	}
+	if c.ScaleToZeroAfter > 0 && c.ScaleToZeroAfter < c.KeepAlive {
+		return fmt.Errorf("cluster: scale-to-zero TTL %v below keep-alive %v", c.ScaleToZeroAfter, c.KeepAlive)
+	}
+	if c.SLOTargetMs < 0 {
+		return fmt.Errorf("cluster: negative SLO target")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	down := map[int]bool{}
+	for _, ev := range c.Events {
+		if ev.At < 0 || sim.Time(ev.At) >= sim.Time(c.Window) {
+			return fmt.Errorf("cluster: event %q at %v outside the window", ev.Kind, ev.At)
+		}
+		if ev.Host < 0 || ev.Host >= c.Hosts {
+			return fmt.Errorf("cluster: event %q targets unknown host %d", ev.Kind, ev.Host)
+		}
+		switch ev.Kind {
+		case EventHostFail, EventHostDrain:
+		default:
+			return fmt.Errorf("cluster: unknown event kind %q", ev.Kind)
+		}
+		down[ev.Host] = true
+	}
+	if len(down) >= c.Hosts {
+		// Failed and drained hosts never return; with every host down the
+		// queued requests could never be served and the run would spin on
+		// dispatch backoff forever.
+		return fmt.Errorf("cluster: events take down all %d hosts; at least one must survive", c.Hosts)
+	}
+	return nil
+}
+
+// Stats aggregates one deployment's cluster-wide outcomes. The shape
+// follows trace.FunctionStats with the cold-start split widened to three
+// ways (full pipeline / transfer+clone / local clone) and the registry's
+// per-deployment transfer accounting added.
+type Stats struct {
+	Name string
+	// Arrived counts every request that entered the queue; after the drain
+	// Arrived == Requests is the no-request-lost invariant — host failures
+	// re-dispatch requests, they never drop them.
+	Arrived  int
+	Requests int
+	// ColdStarts counts every scale-up; the three splits below partition
+	// it. A TransferColdStart initiated a cross-host image pull before
+	// cloning; a LocalCloneColdStart cloned from an image (or donor)
+	// already on its host — including scale-ups that joined a pull in
+	// flight (counted again in TransferDedups); a FullColdStart ran the
+	// whole Fig. 1 pipeline.
+	ColdStarts           int
+	FullColdStarts       int
+	TransferColdStarts   int
+	LocalCloneColdStarts int
+	// ColdStartCost is the summed virtual cost of all cold starts,
+	// transfer waits included; TransferCost is the portion spent on
+	// cross-host pulls (initiators only).
+	ColdStartCost sim.Duration
+	TransferCost  sim.Duration
+	// Transfers / TransferDedups / TransferFaults count this deployment's
+	// pull activity: initiated pulls, scale-ups that joined one in flight,
+	// and pulls aborted by an injected transfer fault.
+	Transfers      int
+	TransferDedups int
+	TransferFaults int
+
+	Restores int
+	Reaped   int
+	// ScaledToZero counts cluster-wide pool collapses to zero;
+	// ImagesEvicted counts snapshot images released across all hosts.
+	ScaledToZero  int
+	ImagesEvicted int
+
+	// Failure accounting (zero on a fault-free, event-free run).
+	Crashes       int
+	RestoreFaults int
+	// EventCrashes and Drained count containers removed by host-fail and
+	// host-drain events.
+	EventCrashes int
+	Drained      int
+	// Recovery counters summed across the deployment's per-host platforms
+	// (see faas.RecoveryStats).
+	ColdStartRetries       int
+	RetryBackoff           sim.Duration
+	CloneFallbacks         int
+	DonorsQuarantined      int
+	ImageIntegrityFailures int
+
+	// E2E (queueing and cold starts included) and Queue latencies in ms;
+	// FullColdLatency and CloneLatency split the cold-start paths
+	// (transfer clones record under CloneLatency, pull wait included).
+	E2E             metrics.Recorder
+	Queue           metrics.Recorder
+	FullColdLatency metrics.Recorder
+	CloneLatency    metrics.Recorder
+
+	// PlacementsPerHost counts this deployment's container placements by
+	// host ID.
+	PlacementsPerHost []int
+}
+
+// HostStats is one host's view of the run.
+type HostStats struct {
+	ID      int
+	Failed  bool
+	Drained bool
+	// Placements counts containers placed on this host across all
+	// deployments; the three-way split partitions them by cold-start path.
+	Placements       int
+	FullStarts       int
+	TransferStarts   int
+	LocalCloneStarts int
+	// PeakFrames and EndFrames are this host's physical-memory high-water
+	// mark and post-drain residue (exact, from its own PhysMem).
+	PeakFrames int
+	EndFrames  int
+	// ImagesHeld counts deployments whose snapshot image is resident on
+	// this host at the end of the run.
+	ImagesHeld int
+}
+
+// Result is a cluster run's outcome.
+type Result struct {
+	PerFunction []*Stats
+	PerHost     []HostStats
+	Registry    RegistryStats
+	// PeakFrames is the cluster-wide high-water mark of summed resident
+	// frames, sampled at policy ticks (per-host exact peaks are in
+	// PerHost — they need not align in time, so their sum bounds this
+	// from above). EndFrames is the exact summed residue after the drain;
+	// MeanFrames the time-weighted mean over the window.
+	PeakFrames int
+	EndFrames  int
+	MeanFrames float64
+}
+
+// Function returns a deployment's stats by display name.
+func (r *Result) Function(name string) (*Stats, bool) {
+	for _, f := range r.PerFunction {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// LostRequests sums Arrived − Requests across deployments — the
+// no-request-lost invariant's residual, zero on a correct run.
+func (r *Result) LostRequests() int {
+	lost := 0
+	for _, f := range r.PerFunction {
+		lost += f.Arrived - f.Requests
+	}
+	return lost
+}
+
+// host is one simulated machine: its own physical memory and kernel (and
+// so its own fault-injection streams), plus the run's liveness flags.
+type host struct {
+	id   int
+	kern *kernel.Kernel
+	// failed and draining take the host out of the placement rotation
+	// permanently; failed hosts crashed (EventCrashes), draining hosts
+	// were emptied gracefully (Drained).
+	failed   bool
+	draining bool
+
+	placements       int
+	fullStarts       int
+	transferStarts   int
+	localCloneStarts int
+}
+
+// alive reports whether the host accepts placements.
+func (h *host) alive() bool { return !h.failed && !h.draining }
+
+// depState is the dispatcher's view of one deployment: a cluster-wide FIFO
+// queue and per-host platform pools, created lazily on first placement.
+type depState struct {
+	load  trace.FunctionLoad
+	pools []*faas.Platform // indexed by host ID; nil until first placement
+	queue []sim.Time
+	qhead int
+	stats *Stats
+	rng   *sim.Rand
+	// redispatch is the cached "drain my queue" closure, one allocation
+	// per deployment (the trace idiom).
+	redispatch func()
+	// Policy observation rings, as in trace.fnState.
+	arrivalTimes   []sim.Time
+	recentE2E      []float64
+	recentSvc      []float64
+	crashTimes     []sim.Time
+	coldFailStreak int
+	sloTargetMs    float64
+	seedBase       uint64
+}
+
+func (ds *depState) queueDepth() int { return len(ds.queue) - ds.qhead }
+
+func (ds *depState) enqueue(t sim.Time) {
+	if ds.qhead > 0 && len(ds.queue) == cap(ds.queue) {
+		n := copy(ds.queue, ds.queue[ds.qhead:])
+		ds.queue = ds.queue[:n]
+		ds.qhead = 0
+	}
+	ds.queue = append(ds.queue, t)
+}
+
+func (ds *depState) queueHead() sim.Time { return ds.queue[ds.qhead] }
+
+func (ds *depState) dequeue() {
+	ds.qhead++
+	if ds.qhead == len(ds.queue) {
+		ds.queue = ds.queue[:0]
+		ds.qhead = 0
+	}
+}
+
+// totalContainers is the deployment's cluster-wide pool size.
+func (ds *depState) totalContainers() int {
+	n := 0
+	for _, pl := range ds.pools {
+		if pl != nil {
+			n += len(pl.Containers())
+		}
+	}
+	return n
+}
+
+// Cluster runs a multi-function workload across N simulated hosts under
+// one virtual clock.
+type Cluster struct {
+	cfg        Config
+	policy     trace.Policy
+	signalFree bool
+	placer     trace.Placer
+	engine     *sim.Engine
+	hosts      []*host
+	deps       []*depState
+	registry   *Registry
+	err        error
+
+	frameArea  float64
+	lastSample sim.Time
+	peakFrames int
+
+	p95Scratch []float64
+}
+
+// observation-ring bounds, shared with trace by value.
+const (
+	arrivalWindow = 64
+	latencyWindow = 128
+	crashWindow   = 32
+)
+
+// New deploys the given functions across cfg.Hosts simulated hosts, one
+// pre-warmed container each (placed by the Placer, so even the warm floor
+// reflects the placement policy). Clone scale-out is always on: image
+// locality is the cluster's whole placement signal.
+func New(cfg Config, loads []trace.FunctionLoad) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("cluster: no functions")
+	}
+	cl := &Cluster{
+		cfg:      cfg,
+		policy:   cfg.Policy,
+		placer:   cfg.Placer,
+		engine:   sim.NewEngine(),
+		registry: newRegistry(),
+	}
+	if cl.policy == nil {
+		cl.policy = trace.FixedTTL{KeepAlive: cfg.KeepAlive, ScaleToZeroAfter: cfg.ScaleToZeroAfter}
+	}
+	_, cl.signalFree = cl.policy.(trace.SignalFree)
+	if cl.placer == nil {
+		cl.placer = LocalityAware{}
+	}
+	for id := 0; id < cfg.Hosts; id++ {
+		h := &host{id: id, kern: kernel.New(cfg.Cost)}
+		if cfg.Faults.Enabled() {
+			plan := cfg.Faults
+			// Perturb the seed per host: each host's injection streams are
+			// independent, but the whole cluster reproduces from one seed.
+			plan.Seed = cfg.Faults.Seed ^ (uint64(id+1) * 0x9E3779B97F4A7C15)
+			h.kern.Faults = faults.New(plan)
+		}
+		cl.hosts = append(cl.hosts, h)
+	}
+	for i, load := range loads {
+		if load.RatePerSec <= 0 {
+			return nil, fmt.Errorf("cluster: %s: non-positive rate", load.Entry.Prof.DisplayName())
+		}
+		if load.SLOTargetMs < 0 {
+			return nil, fmt.Errorf("cluster: %s: negative SLO target", load.Entry.Prof.DisplayName())
+		}
+		target := load.SLOTargetMs
+		if target == 0 {
+			target = cfg.SLOTargetMs
+		}
+		ds := &depState{
+			load:  load,
+			pools: make([]*faas.Platform, cfg.Hosts),
+			stats: &Stats{
+				Name:              load.Entry.Prof.DisplayName(),
+				E2E:               &metrics.Summary{},
+				Queue:             &metrics.Summary{},
+				FullColdLatency:   &metrics.Summary{},
+				CloneLatency:      &metrics.Summary{},
+				PlacementsPerHost: make([]int, cfg.Hosts),
+			},
+			rng:         sim.NewRand(cfg.Seed ^ uint64(i)*0x9E3779B97F4A7C15),
+			sloTargetMs: target,
+			seedBase:    cfg.Seed + uint64(i)*7919,
+		}
+		ds.redispatch = func() { cl.dispatch(ds) }
+		cl.deps = append(cl.deps, ds)
+		// Pre-warm one container, placed by the policy under test.
+		views, ids := cl.eligibleHosts(ds)
+		if len(views) == 0 {
+			return nil, fmt.Errorf("cluster: no eligible host for %s's warm floor", ds.stats.Name)
+		}
+		hid := ids[cl.placer.Place(cl.signals(ds, 0), views)]
+		pl, err := cl.pool(ds, hid)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := pl.AddWarmContainer(); err != nil {
+			return nil, err
+		}
+		// Pre-warmed containers ran the full pipeline off the clock, as in
+		// the faas constructor path; classify them with the full starts.
+		cl.notePlacement(ds, hid, placeFull)
+	}
+	return cl, nil
+}
+
+// pool returns (creating on first use) the deployment's platform on a host.
+func (cl *Cluster) pool(ds *depState, hostID int) (*faas.Platform, error) {
+	if pl := ds.pools[hostID]; pl != nil {
+		return pl, nil
+	}
+	h := cl.hosts[hostID]
+	pl, err := faas.NewPlatformOn(cl.engine, h.kern, ds.load.Entry.Prof, cl.cfg.Mode, 0,
+		ds.seedBase+uint64(hostID)*104729)
+	if err != nil {
+		return nil, err
+	}
+	pl.Store = cl.cfg.Store
+	pl.CloneScaleOut = true
+	ds.pools[hostID] = pl
+	return pl, nil
+}
+
+// hostContainers is a host's total container count across all deployments.
+func (cl *Cluster) hostContainers(hostID int) int {
+	n := 0
+	for _, ds := range cl.deps {
+		if pl := ds.pools[hostID]; pl != nil {
+			n += len(pl.Containers())
+		}
+	}
+	return n
+}
+
+// eligibleHosts builds the placement views for one deployment: live hosts
+// with capacity headroom, in host-ID order, plus the parallel ID slice
+// mapping view indices back to hosts.
+func (cl *Cluster) eligibleHosts(ds *depState) ([]trace.HostView, []int) {
+	now := cl.engine.Now()
+	var views []trace.HostView
+	var ids []int
+	for _, h := range cl.hosts {
+		if !h.alive() {
+			continue
+		}
+		total := cl.hostContainers(h.id)
+		if cl.cfg.HostCapacity > 0 && total >= cl.cfg.HostCapacity {
+			continue
+		}
+		v := trace.HostView{
+			Host:        h.id,
+			Containers:  total,
+			FramesInUse: h.kern.Phys.InUse(),
+		}
+		_, v.PullInFlight = cl.registry.PendingPull(ds.stats.Name, h.id, now)
+		if pl := ds.pools[h.id]; pl != nil {
+			cs := pl.Containers()
+			v.Pool = len(cs)
+			for _, c := range cs {
+				if c.Ready() > now {
+					v.Busy++
+				}
+			}
+			v.Free = v.Pool - v.Busy
+			if !v.PullInFlight {
+				_, _, v.HasImage = pl.ExportedImage()
+				v.CloneReady = pl.CloneSourceReady()
+			}
+		}
+		views = append(views, v)
+		ids = append(ids, h.id)
+	}
+	return views, ids
+}
+
+// findSource returns a live host's platform that can source a transfer of
+// the deployment's image: one already holding the exported image, or —
+// failing that — one with a pooled clone donor, whose export
+// Registry.Pull charges into the first pull (exactly as cloneStart
+// amortizes it into the first local clone). Nil when no host can source.
+func (cl *Cluster) findSource(ds *depState) *faas.Platform {
+	var donor *faas.Platform
+	for _, h := range cl.hosts {
+		if !h.alive() {
+			continue
+		}
+		pl := ds.pools[h.id]
+		if pl == nil {
+			continue
+		}
+		if _, _, ok := pl.ExportedImage(); ok {
+			return pl
+		}
+		if donor == nil && pl.CloneSourceReady() {
+			donor = pl
+		}
+	}
+	return donor
+}
+
+// placementKind classifies one scale-up's cold-start path.
+type placementKind int
+
+const (
+	placeFull placementKind = iota
+	placeTransfer
+	placeLocalClone
+)
+
+// notePlacement records one placement in the per-deployment and per-host
+// counters.
+func (cl *Cluster) notePlacement(ds *depState, hostID int, kind placementKind) {
+	h := cl.hosts[hostID]
+	h.placements++
+	ds.stats.PlacementsPerHost[hostID]++
+	switch kind {
+	case placeFull:
+		h.fullStarts++
+	case placeTransfer:
+		h.transferStarts++
+	case placeLocalClone:
+		h.localCloneStarts++
+	}
+}
+
+// signals assembles the policy's observation set for one deployment,
+// cluster-wide: pool size and warming count sum over hosts, CloneReady is
+// true if any host can clone, Memory aggregates every host pool.
+func (cl *Cluster) signals(ds *depState, now sim.Time) trace.Signals {
+	sig := trace.Signals{
+		Now:         now,
+		QueueDepth:  ds.queueDepth(),
+		Requests:    ds.stats.Requests,
+		SLOTargetMs: ds.sloTargetMs,
+	}
+	for _, pl := range ds.pools {
+		if pl == nil {
+			continue
+		}
+		cs := pl.Containers()
+		sig.PoolSize += len(cs)
+		for _, c := range cs {
+			if c.Ready() > now && c.Requests() == 0 {
+				sig.Warming++
+			}
+		}
+	}
+	sig.Crashes = ds.stats.Crashes + ds.stats.EventCrashes
+	if cl.signalFree {
+		return sig
+	}
+	if n := len(ds.crashTimes); n > 0 {
+		if span := now.Sub(ds.crashTimes[0]); span > 0 {
+			sig.CrashRatePerSec = float64(n) / span.Seconds()
+		}
+	}
+	var mem faas.MemoryStats
+	for _, pl := range ds.pools {
+		if pl == nil {
+			continue
+		}
+		if !sig.CloneReady && pl.CloneSourceReady() {
+			sig.CloneReady = true
+		}
+		st := pl.Memory()
+		mem.StateStoreBytes += st.StateStoreBytes
+		mem.ResidentPages += st.ResidentPages
+		mem.SharedFramePages += st.SharedFramePages
+		mem.FramesInUse += st.FramesInUse
+	}
+	sig.Memory = trace.StaticMemory(mem)
+	if n := len(ds.arrivalTimes); n > 0 {
+		if span := now.Sub(ds.arrivalTimes[0]); span > 0 {
+			sig.ArrivalRatePerSec = float64(n) / span.Seconds()
+		}
+	}
+	if ds.stats.FullColdLatency.N() > 0 {
+		sig.MeanFullColdMs = ds.stats.FullColdLatency.Mean()
+	}
+	if ds.stats.CloneLatency.N() > 0 {
+		sig.MeanCloneColdMs = ds.stats.CloneLatency.Mean()
+	}
+	if len(ds.recentE2E) > 0 {
+		cl.p95Scratch = append(cl.p95Scratch[:0], ds.recentE2E...)
+		var sum float64
+		for _, v := range cl.p95Scratch {
+			sum += v
+		}
+		sig.MeanE2EMs = sum / float64(len(cl.p95Scratch))
+		sort.Float64s(cl.p95Scratch)
+		sig.P95E2EMs = metrics.PercentileSorted(cl.p95Scratch, 95)
+		var svc float64
+		for _, v := range ds.recentSvc {
+			svc += v
+		}
+		sig.MeanServiceMs = svc / float64(len(ds.recentSvc))
+	}
+	return sig
+}
+
+// interarrival draws the next gap (the trace arrival model, including the
+// diurnal modulation).
+func (ds *depState) interarrival(now sim.Time) sim.Duration {
+	rate := ds.load.RatePerSec
+	if a, p := ds.load.DiurnalAmplitude, ds.load.DiurnalPeriod; a > 0 && p > 0 {
+		rate *= 1 + a*math.Sin(2*math.Pi*float64(now)/float64(p)+ds.load.DiurnalPhase)
+	}
+	mean := 1e9 / rate
+	cv := ds.load.Burstiness
+	u := ds.rng.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	exp := -math.Log(u)
+	if cv <= 1 {
+		return sim.Duration(mean * exp)
+	}
+	p := 0.5 * (1 + math.Sqrt((cv*cv-1)/(cv*cv+1)))
+	var phaseRate float64
+	if ds.rng.Float64() < p {
+		phaseRate = 2 * p / mean
+	} else {
+		phaseRate = 2 * (1 - p) / mean
+	}
+	return sim.Duration(exp / phaseRate)
+}
+
+// dispatch retry backoff, shared with trace by value.
+const (
+	dispatchRetryBase = 20 * sim.Duration(1e6) // 20 ms
+	dispatchRetryMax  = 500 * sim.Duration(1e6)
+)
+
+func retryDispatchDelay(streak int) sim.Duration {
+	d := dispatchRetryBase
+	for i := 1; i < streak; i++ {
+		d *= 2
+		if d >= dispatchRetryMax {
+			return dispatchRetryMax
+		}
+	}
+	return d
+}
+
+// Run executes the configured window and returns the results.
+func (cl *Cluster) Run() (*Result, error) {
+	deadline := sim.Time(cl.cfg.Window)
+
+	for _, ds := range cl.deps {
+		ds := ds
+		var arrive func()
+		arrive = func() {
+			if cl.err != nil || cl.engine.Now() >= deadline {
+				return
+			}
+			if !cl.signalFree {
+				ds.arrivalTimes = metrics.PushBounded(ds.arrivalTimes, cl.engine.Now(), arrivalWindow)
+			}
+			ds.stats.Arrived++
+			ds.enqueue(cl.engine.Now())
+			cl.dispatch(ds)
+			cl.engine.After(ds.interarrival(cl.engine.Now()), arrive)
+		}
+		cl.engine.After(ds.interarrival(0), arrive)
+	}
+
+	for _, ev := range cl.cfg.Events {
+		ev := ev
+		cl.engine.At(sim.Time(ev.At), func() { cl.applyEvent(ev) })
+	}
+
+	var reap func()
+	reap = func() {
+		if cl.err != nil || cl.engine.Now() >= deadline {
+			return
+		}
+		now := cl.engine.Now()
+		cl.sampleFrames(now, deadline)
+		for _, ds := range cl.deps {
+			cl.reapIdle(ds, now)
+		}
+		cl.engine.After(cl.cfg.KeepAlive/2, reap)
+	}
+	cl.engine.After(cl.cfg.KeepAlive/2, reap)
+
+	cl.engine.RunUntil(deadline)
+	cl.sampleFrames(deadline, deadline)
+	cl.engine.Run() // drain in-flight work; no new arrivals
+	if cl.err != nil {
+		return nil, cl.err
+	}
+
+	res := &Result{
+		Registry:   cl.registry.Stats(),
+		PeakFrames: cl.peakFrames,
+		EndFrames:  cl.framesInUse(),
+	}
+	if deadline > 0 {
+		res.MeanFrames = cl.frameArea / float64(deadline)
+	}
+	for _, ds := range cl.deps {
+		for _, pl := range ds.pools {
+			if pl == nil {
+				continue
+			}
+			rec := pl.Recovery()
+			ds.stats.ColdStartRetries += rec.ColdStartRetries
+			ds.stats.RetryBackoff += rec.RetryBackoff
+			ds.stats.CloneFallbacks += rec.CloneFallbacks
+			ds.stats.DonorsQuarantined += rec.DonorsQuarantined
+			ds.stats.ImageIntegrityFailures += rec.ImageIntegrityFailures
+		}
+		res.PerFunction = append(res.PerFunction, ds.stats)
+	}
+	sort.Slice(res.PerFunction, func(i, j int) bool {
+		return res.PerFunction[i].Name < res.PerFunction[j].Name
+	})
+	for _, h := range cl.hosts {
+		hs := HostStats{
+			ID:               h.id,
+			Failed:           h.failed,
+			Drained:          h.draining,
+			Placements:       h.placements,
+			FullStarts:       h.fullStarts,
+			TransferStarts:   h.transferStarts,
+			LocalCloneStarts: h.localCloneStarts,
+			PeakFrames:       h.kern.Phys.Peak(),
+			EndFrames:        h.kern.Phys.InUse(),
+		}
+		for _, ds := range cl.deps {
+			if pl := ds.pools[h.id]; pl != nil {
+				if _, _, ok := pl.ExportedImage(); ok {
+					hs.ImagesHeld++
+				}
+			}
+		}
+		res.PerHost = append(res.PerHost, hs)
+	}
+	return res, nil
+}
+
+// framesInUse sums live frames across all hosts.
+func (cl *Cluster) framesInUse() int {
+	n := 0
+	for _, h := range cl.hosts {
+		n += h.kern.Phys.InUse()
+	}
+	return n
+}
+
+// sampleFrames advances the cluster-wide frame integral and sampled peak.
+func (cl *Cluster) sampleFrames(now, deadline sim.Time) {
+	if now > deadline {
+		now = deadline
+	}
+	inUse := cl.framesInUse()
+	if inUse > cl.peakFrames {
+		cl.peakFrames = inUse
+	}
+	if dt := float64(now - cl.lastSample); dt > 0 {
+		cl.frameArea += float64(inUse) * dt
+		cl.lastSample = now
+	}
+}
+
+// reapIdle applies the policy to one deployment's cluster-wide pool: the
+// trace two-tier reaper generalized over hosts. Tier one removes idle
+// containers above the warm floor, scanning hosts in ID order and
+// re-reading pools after every removal. Tier two (scale-to-zero) removes
+// the last container cluster-wide, then either keeps each host's clone
+// template (cheap revival) or evicts every host's image.
+func (cl *Cluster) reapIdle(ds *depState, now sim.Time) {
+	sig := cl.signals(ds, now)
+	floor := cl.policy.WarmFloor(sig)
+	if floor < 1 {
+		floor = 1
+	}
+	for ds.totalContainers() > floor {
+		removed := false
+	scan:
+		for _, pl := range ds.pools {
+			if pl == nil {
+				continue
+			}
+			for _, c := range pl.Containers() {
+				if c.Ready() > now {
+					continue
+				}
+				idleSince := c.LastDone()
+				if idleSince == 0 {
+					idleSince = c.Ready()
+				}
+				if cl.policy.Reap(sig, now.Sub(idleSince), false) {
+					pl.RemoveContainer(c)
+					ds.stats.Reaped++
+					sig = cl.signals(ds, now)
+					removed = true
+					break scan
+				}
+			}
+		}
+		if !removed {
+			return
+		}
+	}
+
+	if ds.queueDepth() > 0 || floor > 1 {
+		return
+	}
+	total := ds.totalContainers()
+	if total == 0 {
+		// Already at zero with images kept somewhere: re-consult the
+		// eviction verdict each tick, on every host still holding one.
+		if cl.policy.EvictImage(sig) {
+			for _, pl := range ds.pools {
+				if pl != nil && pl.EvictImage() {
+					ds.stats.ImagesEvicted++
+				}
+			}
+		}
+		return
+	}
+	if total != 1 {
+		return
+	}
+	var last *faas.Container
+	var lastPool *faas.Platform
+	for _, pl := range ds.pools {
+		if pl != nil && len(pl.Containers()) == 1 {
+			last, lastPool = pl.Containers()[0], pl
+			break
+		}
+	}
+	if last == nil || last.Ready() > now || !cl.policy.Reap(sig, now.Sub(last.Ready()), true) {
+		return
+	}
+	evict := cl.policy.EvictImage(sig)
+	if !evict {
+		lastPool.EnsureCloneTemplate()
+	}
+	lastPool.RemoveContainer(last)
+	ds.stats.Reaped++
+	ds.stats.ScaledToZero++
+	if evict {
+		for _, pl := range ds.pools {
+			if pl != nil && pl.EvictImage() {
+				ds.stats.ImagesEvicted++
+			}
+		}
+	}
+}
+
+// dispatch hands queued requests to available containers anywhere in the
+// cluster, scaling up through the Placer when none are free.
+func (cl *Cluster) dispatch(ds *depState) {
+	if cl.err != nil {
+		return
+	}
+	now := cl.engine.Now()
+	for ds.queueDepth() > 0 {
+		c, pl := cl.pickReady(ds, now)
+		if c == nil {
+			if !cl.scaleUp(ds, now) {
+				return
+			}
+			if next := cl.earliestReady(ds); next > now {
+				cl.engine.At(next, ds.redispatch)
+			}
+			return
+		}
+		// Peek, serve, then pop: a mid-request crash leaves the request at
+		// the head to retry on another container or host.
+		arrived := ds.queueHead()
+		st, err := pl.Serve(c, "")
+		if err != nil {
+			if errors.Is(err, faas.ErrContainerCrashed) {
+				ds.stats.Crashes++
+				if !cl.signalFree {
+					ds.crashTimes = metrics.PushBounded(ds.crashTimes, now, crashWindow)
+				}
+				continue
+			}
+			cl.err = err
+			cl.engine.Stop()
+			return
+		}
+		ds.dequeue()
+		wait := now.Sub(arrived)
+		ds.stats.Requests++
+		ds.stats.E2E.AddDuration(st.E2E + wait)
+		ds.stats.Queue.AddDuration(wait)
+		if !cl.signalFree {
+			ds.recentE2E = metrics.PushBounded(ds.recentE2E, float64(st.E2E+wait)/1e6, latencyWindow)
+			ds.recentSvc = metrics.PushBounded(ds.recentSvc, float64(st.Invoker)/1e6, latencyWindow)
+		}
+		if st.Restored {
+			ds.stats.Restores++
+		}
+		if st.ContainerLost {
+			ds.stats.RestoreFaults++
+		}
+		cl.engine.At(st.ReadyAgain, ds.redispatch)
+	}
+}
+
+// scaleUp asks the policy how many containers to add and places each
+// through the Placer, taking the cheapest start path its host allows:
+// join an in-flight pull, clone locally, pull-then-clone, or run the full
+// pipeline. It reports whether the dispatcher should wait on the pool
+// (true: containers were added or a retry is scheduled elsewhere — the
+// caller schedules the earliest-ready wake-up; false: a retry wake-up is
+// already scheduled or the caller must not wait).
+func (cl *Cluster) scaleUp(ds *depState, now sim.Time) bool {
+	headroom := cl.cfg.MaxContainersPerFunction - ds.totalContainers()
+	if headroom <= 0 {
+		return true // at cap: wait for a container to free up
+	}
+	n := cl.policy.ScaleUp(cl.signals(ds, now))
+	if n > headroom {
+		n = headroom
+	}
+	if n < 1 && ds.totalContainers() == 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		views, ids := cl.eligibleHosts(ds)
+		if len(views) == 0 {
+			alive := 0
+			for _, h := range cl.hosts {
+				if h.alive() {
+					alive++
+				}
+			}
+			if alive == 0 {
+				cl.err = fmt.Errorf("cluster: %s: no live hosts left", ds.stats.Name)
+				cl.engine.Stop()
+				return false
+			}
+			// Every live host is at capacity: back off and retry.
+			ds.coldFailStreak++
+			cl.engine.After(retryDispatchDelay(ds.coldFailStreak), ds.redispatch)
+			return false
+		}
+		hid := ids[cl.placer.Place(cl.signals(ds, now), views)]
+		pl, err := cl.pool(ds, hid)
+		if err != nil {
+			cl.err = err
+			cl.engine.Stop()
+			return false
+		}
+
+		// Path decision. A pending pull to this host means a template was
+		// already adopted — the new container clones from it and waits out
+		// the transfer's remainder (dedup: no second charge). Otherwise a
+		// local clone source wins; otherwise pull from a host that has the
+		// image; otherwise run the full pipeline.
+		var extraDelay sim.Duration
+		transfer := false
+		dedup := false
+		var wasted sim.Duration // a faulted pull's spent time, charged to the fallback
+		if done, pending := cl.registry.PendingPull(ds.stats.Name, hid, now); pending {
+			extraDelay = done.Sub(now)
+			dedup = true
+		} else if !pl.CloneSourceReady() {
+			if src := cl.findSource(ds); src != nil {
+				delay, err := cl.registry.Pull(ds.stats.Name, hid, src, pl, cl.hosts[hid].kern, now)
+				if err != nil {
+					if !errors.Is(err, faults.ErrInjected) {
+						cl.err = err
+						cl.engine.Stop()
+						return false
+					}
+					ds.stats.TransferFaults++
+					wasted = delay // fall through to the full pipeline
+				} else {
+					ds.stats.Transfers++
+					extraDelay = delay
+					transfer = true
+				}
+			}
+		}
+
+		c, err := pl.AddContainer()
+		if err != nil {
+			if faas.IsTransient(err) {
+				ds.coldFailStreak++
+				cl.engine.After(retryDispatchDelay(ds.coldFailStreak), ds.redispatch)
+				return false
+			}
+			cl.err = err
+			cl.engine.Stop()
+			return false
+		}
+		ds.coldFailStreak = 0
+		pl.ChargeColdStartDelay(c, extraDelay+wasted, transfer)
+
+		cold := c.ColdStart()
+		ds.stats.ColdStarts++
+		ds.stats.ColdStartCost += cold.Total
+		kind := placeFull
+		switch {
+		case cold.ClonedFrom < 0:
+			ds.stats.FullColdStarts++
+			ds.stats.FullColdLatency.AddDuration(cold.Total)
+		case transfer:
+			kind = placeTransfer
+			ds.stats.TransferColdStarts++
+			ds.stats.TransferCost += cold.Transfer
+			ds.stats.CloneLatency.AddDuration(cold.Total)
+		default:
+			kind = placeLocalClone
+			ds.stats.LocalCloneColdStarts++
+			ds.stats.CloneLatency.AddDuration(cold.Total)
+			if dedup {
+				ds.stats.TransferDedups++
+				cl.registry.NoteDedup()
+			}
+		}
+		cl.notePlacement(ds, hid, kind)
+		cl.engine.At(c.Ready(), ds.redispatch)
+	}
+	return true
+}
+
+// applyEvent executes one host failure or drain: every deployment's
+// containers on the host are removed, its images and pending pulls are
+// released, the host leaves the rotation, and every deployment
+// re-dispatches so displaced queues recover immediately.
+func (cl *Cluster) applyEvent(ev Event) {
+	if cl.err != nil {
+		return
+	}
+	h := cl.hosts[ev.Host]
+	if !h.alive() {
+		return
+	}
+	for _, ds := range cl.deps {
+		pl := ds.pools[h.id]
+		if pl == nil {
+			continue
+		}
+		for {
+			cs := pl.Containers()
+			if len(cs) == 0 {
+				break
+			}
+			pl.RemoveContainer(cs[0])
+			if ev.Kind == EventHostFail {
+				ds.stats.EventCrashes++
+				if !cl.signalFree {
+					ds.crashTimes = metrics.PushBounded(ds.crashTimes, cl.engine.Now(), crashWindow)
+				}
+			} else {
+				ds.stats.Drained++
+			}
+		}
+		if pl.EvictImage() {
+			ds.stats.ImagesEvicted++
+		}
+	}
+	cl.registry.DropHost(h.id)
+	if ev.Kind == EventHostFail {
+		h.failed = true
+	} else {
+		h.draining = true
+	}
+	for _, ds := range cl.deps {
+		cl.dispatch(ds)
+	}
+}
+
+// pickReady returns a container that can serve right now, with its pool,
+// scanning hosts in ID order.
+func (cl *Cluster) pickReady(ds *depState, now sim.Time) (*faas.Container, *faas.Platform) {
+	for _, pl := range ds.pools {
+		if pl == nil {
+			continue
+		}
+		for _, c := range pl.Containers() {
+			if c.Ready() <= now {
+				return c, pl
+			}
+		}
+	}
+	return nil, nil
+}
+
+// earliestReady returns the soonest ready time across the deployment's
+// cluster-wide pool.
+func (cl *Cluster) earliestReady(ds *depState) sim.Time {
+	var best sim.Time
+	for _, pl := range ds.pools {
+		if pl == nil {
+			continue
+		}
+		for _, c := range pl.Containers() {
+			if best == 0 || c.Ready() < best {
+				best = c.Ready()
+			}
+		}
+	}
+	return best
+}
+
+// Teardown removes every container and evicts every image on every host,
+// then reports the cluster's remaining in-use frame count — 0 on a
+// leak-free run, whatever the fault plan and event schedule did.
+func (cl *Cluster) Teardown() int {
+	for _, ds := range cl.deps {
+		for _, pl := range ds.pools {
+			if pl == nil {
+				continue
+			}
+			for {
+				cs := pl.Containers()
+				if len(cs) == 0 {
+					break
+				}
+				pl.RemoveContainer(cs[0])
+			}
+			pl.EvictImage()
+		}
+	}
+	return cl.framesInUse()
+}
+
+// Registry exposes the cluster's image registry (tests and benchmarks).
+func (cl *Cluster) Registry() *Registry { return cl.registry }
+
+// HostKernel exposes one host's kernel (frame accounting assertions).
+func (cl *Cluster) HostKernel(id int) *kernel.Kernel { return cl.hosts[id].kern }

@@ -251,6 +251,85 @@ func (m *Manager) finishChecksum(img *SnapshotImage, meter *sim.Meter) {
 	sim.ChargeTo(meter, m.kern.Cost.ChecksumPerPage*sim.Duration(len(img.frames)))
 }
 
+// CopyImageTo replicates a snapshot image into another kernel's physical
+// memory — the cluster's image pull. The copy allocates its own frames on
+// the destination host (one per *distinct* source frame: pages sharing a
+// frame, like the all-zero pages riding the lazily-zero frame, share the
+// copy too, so the destination's frame sharing mirrors the source's) and
+// carries the layout, registers, checksum, and corruption state unchanged —
+// the checksum is content-based, so a clean transfer still verifies on the
+// destination. The transfer is charged to meter as ImageTransferBase plus
+// ImageTransferPerFrame per distinct frame shipped.
+//
+// The returned image holds one holder reference on the destination kernel
+// and is independent of the source: evicting either side afterwards leaves
+// the other untouched. An armed SiteImageTransfer fault on the destination
+// kernel aborts the copy partway through; the partial copy's frames are
+// unwound so the destination's frame pool stays balanced.
+func CopyImageTo(dst *kernel.Kernel, img *SnapshotImage, meter *sim.Meter) (*SnapshotImage, error) {
+	if img == nil || img.released {
+		return nil, fmt.Errorf("core: transfer of released snapshot image")
+	}
+	cost := dst.Cost
+	sim.ChargeTo(meter, cost.ImageTransferBase)
+	out := &SnapshotImage{
+		phys:      dst.Phys,
+		layout:    append([]vm.VMA(nil), img.layout...),
+		brkBase:   img.brkBase,
+		brk:       img.brk,
+		mmapBase:  img.mmapBase,
+		regs:      append([]kernel.Regs(nil), img.regs...),
+		vpns:      append([]uint64(nil), img.vpns...),
+		frames:    make([]mem.FrameID, 0, len(img.frames)),
+		refs:      1,
+		sum:       img.sum,
+		summed:    img.summed,
+		corrupted: img.corrupted,
+	}
+
+	failAt := -1
+	var transferFault error
+	if ferr := dst.Faults.Fire(faults.SiteImageTransfer); ferr != nil {
+		failAt = dst.Faults.Cut(faults.SiteImageTransfer, len(img.frames)+1)
+		transferFault = ferr
+	}
+
+	copied := make(map[mem.FrameID]mem.FrameID, len(img.frames))
+	for i, f := range img.frames {
+		if i == failAt {
+			return nil, abortTransfer(dst, out, transferFault)
+		}
+		if nf, ok := copied[f]; ok {
+			dst.Phys.Ref(nf)
+			out.frames = append(out.frames, nf)
+			continue
+		}
+		nf := dst.Phys.Alloc()
+		if !img.phys.IsZero(f) {
+			dst.Phys.RestoreInto(nf, img.phys.Snapshot(f))
+		}
+		copied[f] = nf
+		out.frames = append(out.frames, nf)
+		sim.ChargeTo(meter, cost.ImageTransferPerFrame)
+	}
+	if failAt == len(img.frames) {
+		return nil, abortTransfer(dst, out, transferFault)
+	}
+	return out, nil
+}
+
+// abortTransfer unwinds a partially copied image after an injected transfer
+// fault: every destination frame reference the loop acquired is released.
+func abortTransfer(dst *kernel.Kernel, out *SnapshotImage, cause error) error {
+	n := len(out.frames)
+	for _, f := range out.frames {
+		dst.Phys.Unref(f)
+	}
+	out.frames = nil
+	out.released = true
+	return fmt.Errorf("core: image transfer aborted after %d pages: %w", n, cause)
+}
+
 // NewManagerFromSnapshot is the snapshot-clone cold start: it spawns a fresh
 // process whose address space maps the image's frames copy-on-write
 // (kernel.SpawnFromImage, charging CloneFromSnapshotBase + ClonePTEPerPage

@@ -69,9 +69,15 @@ type ColdStartStats struct {
 	// deployment's first clone).
 	Clone sim.Duration
 	// ClonedFrom is the donor container's ID, or -1 after a full cold
-	// start.
+	// start. RemoteDonorID marks a clone from a template pulled from
+	// another host rather than captured from a pooled sibling.
 	ClonedFrom int
-	Total      sim.Duration
+	// Transfer is the cross-host image-pull delay this container's scale-up
+	// waited for (folded into Total by ChargeColdStartDelay); zero for local
+	// clones and full pipeline starts. A positive Transfer distinguishes the
+	// cluster's transfer+clone path from the ~1 ms local clone.
+	Transfer sim.Duration
+	Total    sim.Duration
 	// Retries counts failed attempts before this container came up; the
 	// exponential backoff they cost is folded into Total (and reported
 	// separately as RetryBackoff).
@@ -236,6 +242,12 @@ type RecoveryStats struct {
 
 // Recovery reports the deployment's cumulative failure-recovery counters.
 func (pl *Platform) Recovery() RecoveryStats { return pl.recovery }
+
+// RemoteDonorID is the ColdStartStats.ClonedFrom sentinel for containers
+// cloned from an adopted (cross-host transferred) template: there is no
+// pooled donor container to name, but the start still took the clone path —
+// dispatchers test ClonedFrom >= 0, which holds.
+const RemoteDonorID = 1 << 20
 
 // cloneTemplate is the donor material for snapshot-clone cold starts: the
 // strategy whose snapshot will be exported, the donor instance's warm
@@ -590,16 +602,8 @@ func (pl *Platform) cloneStart(id int, seed uint64, tmpl *cloneTemplate) (*Conta
 	cost := pl.Kern.Cost
 	m := sim.NewMeter()
 
-	if tmpl.image == nil {
-		img, err := tmpl.strat.ExportImage(m)
-		if err != nil {
-			return nil, fmt.Errorf("faas: clone export from container %d: %w", tmpl.donorID, err)
-		}
-		tmpl.image = img
-		// The donor strategy was only needed for the export; dropping the
-		// reference lets a removed donor's manager (and its snapshot store)
-		// be reclaimed while the image lives on.
-		tmpl.strat = nil
+	if err := pl.exportTemplate(tmpl, m); err != nil {
+		return nil, err
 	}
 	if tmpl.image.Released() {
 		return nil, fmt.Errorf("faas: clone from container %d: %w", tmpl.donorID, ErrImageEvicted)
@@ -634,6 +638,108 @@ func (pl *Platform) cloneStart(id int, seed uint64, tmpl *cloneTemplate) (*Conta
 		ready: pl.Engine.Now(),
 	}
 	return c, nil
+}
+
+// exportTemplate materializes the template's snapshot image if it has not
+// been exported yet, charging the export to meter. Once exported the donor
+// strategy reference is dropped: it was only needed for the export, and
+// releasing it lets a removed donor's manager (and its snapshot store) be
+// reclaimed while the image lives on.
+func (pl *Platform) exportTemplate(tmpl *cloneTemplate, m *sim.Meter) error {
+	if tmpl.image != nil {
+		return nil
+	}
+	img, err := tmpl.strat.ExportImage(m)
+	if err != nil {
+		return fmt.Errorf("faas: clone export from container %d: %w", tmpl.donorID, err)
+	}
+	tmpl.image = img
+	tmpl.strat = nil
+	return nil
+}
+
+// ExportedImage returns the deployment's exported snapshot image and the
+// donor instance state clones are built from, when one exists and is still
+// live. Cluster registries read it to derive per-host image presence from
+// the refcount lifecycle itself — there is no separate presence bit to go
+// stale.
+func (pl *Platform) ExportedImage() (*core.SnapshotImage, runtimes.ImageState, bool) {
+	t := pl.template
+	if t == nil || t.image == nil || t.image.Released() {
+		return nil, runtimes.ImageState{}, false
+	}
+	return t.image, t.state, true
+}
+
+// EnsureExportedImage captures the deployment's clone template if needed and
+// exports its snapshot image now, charging any export work to meter — the
+// transfer-source side of a cross-host image pull, where the export cost is
+// amortized into the first pull exactly as cloneStart amortizes it into the
+// first local clone. Fails with ErrNoDonor when no eligible donor is pooled
+// and no template survives, and with a plain error when clone scale-out is
+// off.
+func (pl *Platform) EnsureExportedImage(m *sim.Meter) (*core.SnapshotImage, runtimes.ImageState, error) {
+	if !pl.CloneScaleOut {
+		return nil, runtimes.ImageState{}, fmt.Errorf("faas: clone scale-out disabled")
+	}
+	tmpl := pl.cloneSource()
+	if tmpl == nil {
+		return nil, runtimes.ImageState{}, fmt.Errorf("faas: export image: %w", ErrNoDonor)
+	}
+	if err := pl.exportTemplate(tmpl, m); err != nil {
+		return nil, runtimes.ImageState{}, err
+	}
+	if tmpl.image.Released() {
+		return nil, runtimes.ImageState{}, fmt.Errorf("faas: export image: %w", ErrImageEvicted)
+	}
+	return tmpl.image, tmpl.state, nil
+}
+
+// AdoptTemplate installs a transferred snapshot image as the deployment's
+// clone template — the destination side of a cross-host image pull. The
+// platform takes ownership of one holder reference on img (the one
+// core.CopyImageTo returned); EvictImage releases it like any locally
+// exported image. Subsequent AddContainer calls clone from the adopted
+// image with ClonedFrom = RemoteDonorID. A template already present is
+// evicted first, so adopting never leaks the previous image's frames.
+func (pl *Platform) AdoptTemplate(img *core.SnapshotImage, state runtimes.ImageState) error {
+	if img == nil || img.Released() {
+		return fmt.Errorf("faas: adopt released snapshot image: %w", ErrImageEvicted)
+	}
+	if pl.template != nil {
+		pl.EvictImage()
+	}
+	pl.template = &cloneTemplate{donorID: RemoteDonorID, state: state, image: img}
+	return nil
+}
+
+// ChargeColdStartDelay folds an externally imposed delay into a just-added
+// container's cold start — the cluster uses it for the image-pull wait a
+// scale-up cannot skip: the container becomes ready later, the delay joins
+// its ColdStartStats.Total (recorded as Transfer when this container's own
+// pull caused it, merely as added latency when it waited on a pull already
+// in flight), and the deployment's cumulative summary moves the clone into
+// the transfer bucket. Call it immediately after AddContainer, before the
+// container serves.
+func (pl *Platform) ChargeColdStartDelay(c *Container, d sim.Duration, transfer bool) {
+	if d <= 0 {
+		return
+	}
+	c.cold.Total += d
+	c.ready = c.ready.Add(d)
+	if transfer {
+		c.cold.Transfer += d
+	}
+	if c.cold.ClonedFrom >= 0 {
+		pl.coldSummary.CloneCost += d
+		if transfer {
+			pl.coldSummary.TransferClone++
+			pl.coldSummary.TransferCost += d
+		}
+	} else {
+		pl.coldSummary.FullCost += d
+	}
+	pl.coldSummary.TotalCost += d
 }
 
 // QuarantineAfter is the number of clone failures a template tolerates
@@ -698,11 +804,17 @@ type ColdStartSummary struct {
 	// Full and Clone count the cold starts per path.
 	Full  int
 	Clone int
+	// TransferClone counts the subset of Clone whose scale-up first pulled
+	// the image from another host (ChargeColdStartDelay with transfer=true);
+	// Clone − TransferClone clones served from an image already resident.
+	TransferClone int
 	// FullCost and CloneCost split the summed virtual duration by path;
-	// TotalCost is their sum.
-	FullCost  sim.Duration
-	CloneCost sim.Duration
-	TotalCost sim.Duration
+	// TotalCost is their sum. TransferCost is the portion of CloneCost spent
+	// waiting on cross-host image pulls.
+	FullCost     sim.Duration
+	CloneCost    sim.Duration
+	TransferCost sim.Duration
+	TotalCost    sim.Duration
 }
 
 // ColdStarts reports the deployment's cumulative cold-start summary.

@@ -49,6 +49,11 @@ const (
 	// SiteImageCorrupt corrupts an exported snapshot image (bit-rot); the
 	// per-image checksum detects it on the next clone attempt.
 	SiteImageCorrupt Site = "image-corrupt"
+	// SiteImageTransfer aborts a cross-host image pull partway through its
+	// frame copy (core.CopyImageTo); the partial copy's frames are unwound
+	// on the destination host and the scale-up falls back to the full
+	// pipeline. Fired by the destination kernel's injector.
+	SiteImageTransfer Site = "image-transfer"
 )
 
 // Sites lists every injection site.
@@ -59,6 +64,7 @@ var Sites = []Site{
 	SiteRestore,
 	SiteRequestCrash,
 	SiteImageCorrupt,
+	SiteImageTransfer,
 }
 
 // ErrInjected is the sentinel every injected fault matches via errors.Is;

@@ -55,6 +55,8 @@ import (
 //	EnvInstantiation          container image/cgroup/netns setup (Fig. 1)         seed   350 ms
 //	RuntimeInitBase           runtime initialization floor (Fig. 1)               seed   80 ms
 //	ChecksumPerPage           FNV accumulation per page (image integrity)         PR 6   160 ns
+//	ImageTransferBase         cross-host image pull setup (connection+metadata)   PR 8   2 ms
+//	ImageTransferPerFrame     one 4 KiB frame shipped over the cluster network    PR 8   3 µs
 type CostModel struct {
 	// VM holds per-access and per-fault costs (see vm.Costs).
 	VM vm.Costs
@@ -149,6 +151,17 @@ type CostModel struct {
 	// is charged only on fault-armed platforms: on export when the checksum
 	// is recorded, and on clone when the image is re-verified.
 	ChecksumPerPage sim.Duration
+
+	// Cross-host snapshot-image distribution (cluster placement): pulling a
+	// deployment's image onto a host that does not hold it costs
+	// ImageTransferBase once (connection setup, layout and register
+	// metadata) plus ImageTransferPerFrame per distinct frame shipped —
+	// shared frames (the zero page every all-zero page rides on) cross the
+	// wire once, exactly as a dedup-aware transfer protocol would send them.
+	// Charged only by core.CopyImageTo, so single-host runs never see these
+	// knobs.
+	ImageTransferBase     sim.Duration
+	ImageTransferPerFrame sim.Duration
 }
 
 // Default returns the calibrated cost model used by all experiments.
@@ -208,5 +221,8 @@ func Default() CostModel {
 		RuntimeInitBase:  80 * time.Millisecond,
 
 		ChecksumPerPage: 160 * time.Nanosecond,
+
+		ImageTransferBase:     2 * time.Millisecond,
+		ImageTransferPerFrame: 3 * time.Microsecond,
 	}
 }

@@ -3,7 +3,11 @@
 // (one platform per function × isolation mode) are created lazily on first
 // invocation and stay warm, exactly like reused containers; repeated
 // invocations against the same deployment therefore exercise container
-// reuse with or without request isolation.
+// reuse with or without request isolation. Deployments are spread
+// least-loaded across a small set of simulated hosts (DefaultHosts, or
+// ghserve's -hosts flag), each host owning one kernel and physical-memory
+// pool, so /deployments reports per-host memory rather than a single
+// machine-wide aggregate.
 //
 // Endpoints:
 //
@@ -30,21 +34,46 @@ import (
 	"groundhog/internal/kernel"
 	"groundhog/internal/metrics"
 	"groundhog/internal/runtimes"
+	"groundhog/internal/sim"
 	"groundhog/internal/trace"
 )
 
 // Server multiplexes HTTP requests onto simulated platforms. Each platform
 // simulation is single-threaded, so a per-deployment mutex serializes
 // invocations of the same function × mode; unrelated deployments run
-// concurrently. The server's own mutex guards only the deployments map and
-// the deploy-time configuration.
+// concurrently up to their host's kernel lock. The server's own mutex
+// guards the deployments map, the host list, and the deploy-time
+// configuration.
 type Server struct {
 	mu    sync.Mutex
 	cost  kernel.CostModel
 	seed  uint64
 	trust bool
 
+	hosts       []*serverHost
 	deployments map[string]*deployment
+}
+
+// DefaultHosts is the simulated host count a fresh server runs with.
+const DefaultHosts = 4
+
+// serverHost is one simulated machine: a kernel (and so a physical-memory
+// pool) shared by every deployment placed on it. Its mutex serializes the
+// colocated platforms' kernel traffic; the placement load counter is
+// guarded by the server mutex instead, because placement happens under it.
+type serverHost struct {
+	id   int
+	mu   sync.Mutex
+	kern *kernel.Kernel
+	load int // deployments placed here; guarded by Server.mu
+}
+
+func newHosts(cost kernel.CostModel, n int) []*serverHost {
+	hosts := make([]*serverHost, n)
+	for i := range hosts {
+		hosts[i] = &serverHost{id: i, kern: kernel.New(cost)}
+	}
+	return hosts
 }
 
 // deployment is one function × mode platform. Its mutex covers the platform
@@ -54,7 +83,7 @@ type deployment struct {
 	fn    string
 	mode  isolation.Mode
 	prof  runtimes.Profile
-	cost  kernel.CostModel
+	host  *serverHost
 	seed  uint64
 	trust bool
 
@@ -74,11 +103,14 @@ type deployment struct {
 // latencyWindow semantics: breaches and calm spells both age out).
 const e2eWindow = 128
 
-// New returns a server with the default cost model.
+// New returns a server with the default cost model and DefaultHosts
+// simulated hosts.
 func New() *Server {
+	cost := kernel.Default()
 	return &Server{
-		cost:        kernel.Default(),
+		cost:        cost,
 		seed:        1,
+		hosts:       newHosts(cost, DefaultHosts),
 		deployments: make(map[string]*deployment),
 	}
 }
@@ -89,6 +121,22 @@ func (s *Server) SetTrustSameCaller(on bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.trust = on
+}
+
+// SetHosts resizes the simulated cluster. It must run before the first
+// deployment registers: existing deployments hold references into the old
+// hosts' kernels, so a live resize would split the memory accounting.
+func (s *Server) SetHosts(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 1 {
+		return fmt.Errorf("server: need at least one host, got %d", n)
+	}
+	if len(s.deployments) > 0 {
+		return fmt.Errorf("server: SetHosts after %d deployment(s) registered", len(s.deployments))
+	}
+	s.hosts = newHosts(s.cost, n)
+	return nil
 }
 
 // Handler returns the HTTP handler.
@@ -204,7 +252,12 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// The host lock covers the kernel traffic of the invocation (frame
+	// allocation, restore), serializing colocated deployments the way one
+	// machine's memory subsystem would.
+	dep.host.mu.Lock()
 	st, err := dep.platform.InvokeOnce(caller)
+	dep.host.mu.Unlock()
 	if err != nil {
 		// Transient failures — an empty pool, a crashed container, an
 		// exhausted cold-start retry budget — are the client's cue to retry,
@@ -258,9 +311,19 @@ func (s *Server) deployment(fn string, mode isolation.Mode) (*deployment, error)
 	if err != nil {
 		return nil, err
 	}
+	// Least-loaded placement (by deployment count, lowest host ID on ties):
+	// the simple spreading baseline — deployments never migrate, so the
+	// choice is permanent for the deployment's lifetime.
+	host := s.hosts[0]
+	for _, h := range s.hosts[1:] {
+		if h.load < host.load {
+			host = h
+		}
+	}
+	host.load++
 	dep := &deployment{
 		fn: fn, mode: mode, prof: entry.Prof,
-		cost: s.cost, seed: s.seed, trust: s.trust,
+		host: host, seed: s.seed, trust: s.trust,
 	}
 	s.deployments[key] = dep
 	return dep, nil
@@ -273,14 +336,20 @@ func (s *Server) deployment(fn string, mode isolation.Mode) (*deployment, error)
 func (s *Server) undeploy(dep *deployment) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	dep.host.load--
 	delete(s.deployments, dep.fn+"|"+string(dep.mode))
 }
 
-// deploy constructs the platform (the cold start). Caller holds d.mu.
+// deploy constructs the platform (the cold start) on the deployment's host:
+// its own virtual timeline, but the host's shared kernel, so colocated
+// deployments compete for (and share the accounting of) one physical-memory
+// pool. Caller holds d.mu; lock order is d.mu → d.host.mu.
 func (d *deployment) deploy() error {
-	pl, err := faas.NewPlatform(d.cost, d.prof, d.mode, 1, d.seed)
+	d.host.mu.Lock()
+	defer d.host.mu.Unlock()
+	pl, err := faas.NewPlatformOn(sim.NewEngine(), d.host.kern, d.prof, d.mode, 1, d.seed)
 	if err != nil {
-		return fmt.Errorf("deploy %s under %s: %w", d.fn, d.mode, err)
+		return fmt.Errorf("deploy %s under %s on host %d: %w", d.fn, d.mode, d.host.id, err)
 	}
 	pl.TrustSameCaller = d.trust
 	d.platform = pl
@@ -295,11 +364,18 @@ func (d *deployment) deploy() error {
 // latency summary, and — from the same signals — what each built-in
 // scheduling policy would decide right now.
 type DeploymentInfo struct {
-	Function         string  `json:"function"`
-	Mode             string  `json:"mode"`
-	Invoked          int     `json:"invoked"`
-	Restored         int     `json:"restored"`
-	Containers       int     `json:"containers"`
+	Function   string `json:"function"`
+	Mode       string `json:"mode"`
+	Invoked    int    `json:"invoked"`
+	Restored   int    `json:"restored"`
+	Containers int    `json:"containers"`
+	// Host is the simulated machine this deployment was placed on;
+	// HostFramesInUse is that machine's whole physical-memory pool, summed
+	// over every colocated deployment (FramesInUse reports the same shared
+	// pool, kept for compatibility — per-deployment residency is
+	// ResidentPages).
+	Host             int     `json:"host"`
+	HostFramesInUse  int     `json:"host_frames_in_use"`
 	ColdStartMS      float64 `json:"cold_start_ms"`
 	StateStoreBytes  int     `json:"state_store_bytes"`
 	ResidentPages    int     `json:"resident_pages"`
@@ -309,11 +385,17 @@ type DeploymentInfo struct {
 
 	// Cold-start split: pipeline vs. snapshot-clone scale-ups over the
 	// deployment's lifetime (removed containers included), with the summed
-	// virtual cost — the provider's scale-up bill.
-	FullColdStarts      int     `json:"full_cold_starts"`
-	CloneColdStarts     int     `json:"clone_cold_starts"`
-	ColdStartTotalMS    float64 `json:"cold_start_total_ms"`
-	CloneColdStartReady bool    `json:"clone_cold_start_ready"`
+	// virtual cost — the provider's scale-up bill. Clone starts are further
+	// split by where the image came from: a cross-host transfer or a
+	// host-local template (a single-host server reports zero transfers; the
+	// field exists so the listing's shape matches the cluster simulation's
+	// cold-start taxonomy).
+	FullColdStarts          int     `json:"full_cold_starts"`
+	TransferCloneColdStarts int     `json:"transfer_clone_cold_starts"`
+	LocalCloneColdStarts    int     `json:"local_clone_cold_starts"`
+	CloneColdStarts         int     `json:"clone_cold_starts"`
+	ColdStartTotalMS        float64 `json:"cold_start_total_ms"`
+	CloneColdStartReady     bool    `json:"clone_cold_start_ready"`
 
 	// Latency summary over the most recent served requests (ms, windowed
 	// like the fleet's observation rings).
@@ -346,6 +428,7 @@ func (dep *deployment) describe() DeploymentInfo {
 		Mode:     string(dep.mode),
 		Invoked:  dep.invoked,
 		Restored: dep.restored,
+		Host:     dep.host.id,
 	}
 	if dep.platform == nil {
 		return info
@@ -359,16 +442,23 @@ func (dep *deployment) describe() DeploymentInfo {
 		info.ColdStartMS = float64(cs[0].ColdStart().Total) / 1e6
 	}
 	info.Containers = len(cs)
+	// The host lock covers the kernel reads: a colocated deployment could
+	// be allocating frames on the shared pool concurrently.
+	dep.host.mu.Lock()
 	mem := pl.Memory()
+	dep.host.mu.Unlock()
 	info.StateStoreBytes = mem.StateStoreBytes
 	info.ResidentPages = mem.ResidentPages
 	info.FramesInUse = mem.FramesInUse
+	info.HostFramesInUse = mem.FramesInUse
 	info.SharedFramePages = mem.SharedFramePages
 	info.VirtualTime = now.String()
 
 	cold := pl.ColdStarts()
 	info.FullColdStarts = cold.Full
 	info.CloneColdStarts = cold.Clone
+	info.TransferCloneColdStarts = cold.TransferClone
+	info.LocalCloneColdStarts = cold.Clone - cold.TransferClone
 	info.ColdStartTotalMS = float64(cold.TotalCost) / 1e6
 	info.CloneColdStartReady = pl.CloneSourceReady()
 

@@ -365,3 +365,71 @@ func TestDefaultModeIsGH(t *testing.T) {
 		t.Fatalf("default mode = %q", resp.Mode)
 	}
 }
+
+// TestDeploymentsPerHostView: deployments spread least-loaded across the
+// simulated hosts, each entry names its host, and host_frames_in_use is the
+// host's shared pool — identical for colocated deployments, not a
+// per-deployment slice.
+func TestDeploymentsPerHostView(t *testing.T) {
+	s, ts := testServer(t)
+	if err := s.SetHosts(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []string{"get-time (p)", "version (p)", "md2html (p)"} {
+		post(t, ts.URL+"/invoke?fn="+url.QueryEscape(fn)+"&mode=gh", nil)
+	}
+	var deps []DeploymentInfo
+	get(t, ts.URL+"/deployments", &deps)
+	if len(deps) != 3 {
+		t.Fatalf("deployments = %d, want 3", len(deps))
+	}
+	perHost := map[int][]DeploymentInfo{}
+	for _, d := range deps {
+		if d.Host < 0 || d.Host >= 2 {
+			t.Fatalf("deployment %s on host %d, want [0,2)", d.Function, d.Host)
+		}
+		if d.HostFramesInUse <= 0 {
+			t.Fatalf("%s: no host memory reported: %+v", d.Function, d)
+		}
+		if d.HostFramesInUse < d.FramesInUse {
+			t.Fatalf("%s: host pool (%d) below deployment's view (%d)",
+				d.Function, d.HostFramesInUse, d.FramesInUse)
+		}
+		// Single-host-local deployments: the clone split is present and
+		// transfer-free (no cross-host pulls on the server).
+		if d.TransferCloneColdStarts != 0 {
+			t.Fatalf("%s: server deployment paid a transfer clone", d.Function)
+		}
+		if d.LocalCloneColdStarts != d.CloneColdStarts {
+			t.Fatalf("%s: clone split %d local of %d total", d.Function,
+				d.LocalCloneColdStarts, d.CloneColdStarts)
+		}
+		perHost[d.Host] = append(perHost[d.Host], d)
+	}
+	// Least-loaded over 2 hosts and 3 deployments: both hosts used.
+	if len(perHost) != 2 {
+		t.Fatalf("3 deployments on 2 hosts used %d host(s)", len(perHost))
+	}
+	// Colocated deployments report one shared pool figure.
+	for host, ds := range perHost {
+		for _, d := range ds[1:] {
+			if d.HostFramesInUse != ds[0].HostFramesInUse {
+				t.Fatalf("host %d: colocated deployments disagree on the pool: %d vs %d",
+					host, d.HostFramesInUse, ds[0].HostFramesInUse)
+			}
+		}
+	}
+}
+
+// TestSetHostsRejectsLiveResize: once a deployment exists, the host set is
+// frozen.
+func TestSetHostsRejectsLiveResize(t *testing.T) {
+	s, ts := testServer(t)
+	if err := s.SetHosts(0); err == nil {
+		t.Fatal("SetHosts(0) accepted")
+	}
+	post(t, ts.URL+"/invoke?fn="+url.QueryEscape("get-time (p)")+"&mode=gh", nil)
+	if err := s.SetHosts(8); err == nil {
+		t.Fatal("live resize accepted with a registered deployment")
+	}
+}
