@@ -1,0 +1,166 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"runtime"
+	"testing"
+
+	"groundhog/internal/server"
+)
+
+// The simulated invoke underneath the gateway is not allocation-free — the
+// runtime model performs per-request address-space layout churn for the
+// python/node profiles (~10 mallocs/request, pinned upstream by the trace
+// package's own guard). The gateway's guarantee is about ITS OWN path, so
+// both guards here measure differentially: per-request mallocs through the
+// gateway minus per-request mallocs of the bare server Handle.Invoke on the
+// same warmed deployment. The HTTP overhead budget is 2 (the X-Gh-Stats
+// header value string and Header.Set's value slice); the binary path has no
+// header map and budgets 0. Both get +0.5 measurement slack.
+
+// fixedRW is a ResponseWriter that reuses one header map and discards the
+// body — driving handleFn directly so the guard measures the gateway, not
+// net/http's per-connection machinery.
+type fixedRW struct {
+	h      http.Header
+	status int
+}
+
+func (w *fixedRW) Header() http.Header         { return w.h }
+func (w *fixedRW) Write(p []byte) (int, error) { return len(p), nil }
+func (w *fixedRW) WriteHeader(s int)           { w.status = s }
+
+// reusableBody adapts a resettable bytes.Reader to io.ReadCloser.
+type reusableBody struct{ *bytes.Reader }
+
+func (reusableBody) Close() error { return nil }
+
+// perRequestMallocs runs do at two window sizes after warmup and returns
+// the differential mallocs per request — one-time growth (pools, sketch
+// buckets) cancels out.
+func perRequestMallocs(t *testing.T, do func()) float64 {
+	t.Helper()
+	measure := func(n int) uint64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < n; i++ {
+			do()
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+	for i := 0; i < 200; i++ {
+		do()
+	}
+	short := measure(300)
+	long := measure(900)
+	return float64(long-short) / 600
+}
+
+// allocFixture returns a gateway with one warmed route and a bare-invoke
+// closure for the differential baseline.
+func allocFixture(t *testing.T) (*Gateway, *route, func()) {
+	t.Helper()
+	s := server.New()
+	g := New(s, Config{})
+	t.Cleanup(func() {
+		_ = g.Close()
+		s.Shutdown()
+	})
+	rt, err := g.route("get-time (p)", ghModeIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := func() {
+		if _, err := rt.h.Invoke(""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, rt, bare
+}
+
+// TestGatewayHTTPAllocsPerRequest pins the HTTP hot path's own steady-state
+// cost at <= 2 allocs/request over the bare invoke.
+func TestGatewayHTTPAllocsPerRequest(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the differential malloc count is meaningless under -race")
+	}
+	g, _, bare := allocFixture(t)
+
+	payload := bytes.Repeat([]byte("x"), 512)
+	br := bytes.NewReader(payload)
+	req := &http.Request{
+		Method: http.MethodPost,
+		URL:    &url.URL{Path: fnPrefix + "get-time (p)"},
+		Header: http.Header{},
+		Body:   reusableBody{br},
+	}
+	w := &fixedRW{h: http.Header{}}
+	doHTTP := func() {
+		br.Reset(payload)
+		w.status = 0
+		g.handleFn(w, req)
+		if w.status != http.StatusOK {
+			t.Fatalf("status %d", w.status)
+		}
+	}
+
+	bareCost := perRequestMallocs(t, bare)
+	httpCost := perRequestMallocs(t, doHTTP)
+	overhead := httpCost - bareCost
+	t.Logf("bare=%.3f http=%.3f overhead=%.3f allocs/request", bareCost, httpCost, overhead)
+	if overhead > 2.5 {
+		t.Errorf("HTTP gateway path adds %.3f allocs/request (bare %.3f, gateway %.3f), want <= 2",
+			overhead, bareCost, httpCost)
+	}
+}
+
+// TestGatewayBinaryAllocsPerRequest pins the binary hot path — cached route
+// ID, empty caller, reused connection buffers — at 0 allocs/request over
+// the bare invoke (client side included; it reuses its buffers too).
+func TestGatewayBinaryAllocsPerRequest(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the differential malloc count is meaningless under -race")
+	}
+	g, rt, bare := allocFixture(t)
+
+	client, srv := net.Pipe()
+	t.Cleanup(func() { client.Close() })
+	go func() { _ = g.ServeBinaryConn(srv) }()
+
+	req := frame(opInvoke, invokePayload(rt.id, "", bytes.Repeat([]byte("x"), 512)))
+	resp := make([]byte, 4096)
+	doBin := func() {
+		if _, err := client.Write(req); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(client, resp[:4]); err != nil {
+			t.Fatal(err)
+		}
+		n := binary.BigEndian.Uint32(resp[:4])
+		if int(n) > len(resp) {
+			t.Fatalf("oversized response frame: %d", n)
+		}
+		if _, err := io.ReadFull(client, resp[:n]); err != nil {
+			t.Fatal(err)
+		}
+		if resp[0] != opInvoke {
+			t.Fatalf("op %d", resp[0])
+		}
+	}
+
+	bareCost := perRequestMallocs(t, bare)
+	binCost := perRequestMallocs(t, doBin)
+	overhead := binCost - bareCost
+	t.Logf("bare=%.3f binary=%.3f overhead=%.3f allocs/request", bareCost, binCost, overhead)
+	if overhead > 0.5 {
+		t.Errorf("binary gateway path adds %.3f allocs/request (bare %.3f, gateway %.3f), want 0",
+			overhead, bareCost, binCost)
+	}
+}

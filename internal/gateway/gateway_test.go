@@ -1,0 +1,457 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"groundhog/internal/faults"
+	"groundhog/internal/isolation"
+	"groundhog/internal/server"
+)
+
+func newGateway(t *testing.T, cfg Config) (*server.Server, *Gateway) {
+	t.Helper()
+	s := server.New()
+	g := New(s, cfg)
+	t.Cleanup(func() {
+		_ = g.Close()
+		s.Shutdown()
+	})
+	return s, g
+}
+
+func serveHTTP(t *testing.T, g *Gateway) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func fnURL(base, fn string) string {
+	return base + fnPrefix + url.PathEscape(fn)
+}
+
+// postFn posts body to the data plane and returns (status, echoed body,
+// headers).
+func postFn(t *testing.T, u, body string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Post(u, "application/octet-stream", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b), resp.Header
+}
+
+// waitUntil polls cond for up to 2s.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+var statsRe = regexp.MustCompile(`^e2e_us=\d+;invoker_us=\d+;restored=[01]$`)
+
+// TestGatewayEchoAndStats: the hot path echoes the request body verbatim
+// and reports per-request metadata in X-Gh-Stats — no JSON anywhere.
+func TestGatewayEchoAndStats(t *testing.T) {
+	_, g := newGateway(t, Config{})
+	ts := serveHTTP(t, g)
+	u := fnURL(ts.URL, "get-time (p)")
+
+	body := "payload-\x00\x01-binary-ok"
+	status, echo, hdr := postFn(t, u, body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	if echo != body {
+		t.Fatalf("echo = %q, want %q", echo, body)
+	}
+	if st := hdr.Get("X-Gh-Stats"); !statsRe.MatchString(st) {
+		t.Fatalf("X-Gh-Stats = %q, want %s", st, statsRe)
+	}
+	if snap := g.Snapshot(); snap.Served != 1 || snap.E2EP50Ms <= 0 {
+		t.Fatalf("snapshot after one request = %+v", snap)
+	}
+}
+
+// TestGatewayModeHeaderAndControlPlane: X-Gh-Mode selects the isolation
+// mode (each fn × mode is its own deployment, visible on the control plane,
+// which stays mounted under the same listener), and unknown modes answer
+// 400 before touching the registry.
+func TestGatewayModeHeaderAndControlPlane(t *testing.T) {
+	_, g := newGateway(t, Config{})
+	ts := serveHTTP(t, g)
+	u := fnURL(ts.URL, "get-time (p)")
+
+	for _, mode := range []string{"fork", "gh"} {
+		req, _ := http.NewRequest(http.MethodPost, u, strings.NewReader("x"))
+		req.Header.Set("X-Gh-Mode", mode)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mode %s: status %d", mode, resp.StatusCode)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodPost, u, nil)
+	req.Header.Set("X-Gh-Mode", "chroot")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown mode: status %d, want 400", resp.StatusCode)
+	}
+
+	// Control plane rides the same handler: the deployments listing shows
+	// both modes of the function the data plane registered.
+	cp, err := http.Get(ts.URL + "/deployments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing, _ := io.ReadAll(cp.Body)
+	cp.Body.Close()
+	if cp.StatusCode != http.StatusOK ||
+		!strings.Contains(string(listing), `"fork"`) || !strings.Contains(string(listing), `"gh"`) {
+		t.Fatalf("/deployments through gateway = %d %s", cp.StatusCode, listing)
+	}
+}
+
+// TestGatewayRejectsBadRequests: the edges of the routing surface.
+func TestGatewayRejectsBadRequests(t *testing.T) {
+	_, g := newGateway(t, Config{MaxBody: 1024})
+	ts := serveHTTP(t, g)
+
+	if resp, err := http.Get(fnURL(ts.URL, "get-time (p)")); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: %d, want 405", resp.StatusCode)
+	}
+	if status, _, _ := postFn(t, ts.URL+fnPrefix, ""); status != http.StatusNotFound {
+		t.Fatalf("empty fn: %d, want 404", status)
+	}
+	if status, _, _ := postFn(t, fnURL(ts.URL, "no-such-fn"), ""); status != http.StatusNotFound {
+		t.Fatalf("unknown fn: %d, want 404", status)
+	}
+	big := strings.Repeat("x", 4096)
+	if status, _, _ := postFn(t, fnURL(ts.URL, "get-time (p)"), big); status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d, want 413", status)
+	}
+	// The deployment survives the oversized request (the slot was released
+	// on the error path).
+	if status, _, _ := postFn(t, fnURL(ts.URL, "get-time (p)"), "ok"); status != http.StatusOK {
+		t.Fatalf("after oversized body: %d, want 200", status)
+	}
+}
+
+// TestGatewayConcurrentServingWithUndeploy is the serving-path race test:
+// many client goroutines across three deployments while one deployment is
+// concurrently undeployed. Invariants: no panic (the -race CI step runs
+// this), every request gets exactly one response, every 200 echoes its own
+// request body, the never-undeployed functions only ever answer 200 or 429,
+// and the undeployed one only adds 404 (gone) to that set.
+func TestGatewayConcurrentServingWithUndeploy(t *testing.T) {
+	s, g := newGateway(t, Config{QueueDepth: 2})
+	ts := serveHTTP(t, g)
+	fns := []string{"get-time (p)", "version (p)", "json (p)"}
+	for _, fn := range fns {
+		if status, _, _ := postFn(t, fnURL(ts.URL, fn), "warm"); status != http.StatusOK {
+			t.Fatalf("warmup %s: %d", fn, status)
+		}
+	}
+
+	const (
+		workers = 12
+		perW    = 40
+	)
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*perW)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				fn := fns[(w+i)%len(fns)]
+				body := fmt.Sprintf("w%d-r%d", w, i)
+				resp, err := http.Post(fnURL(ts.URL, fn), "application/octet-stream", strings.NewReader(body))
+				if err != nil {
+					errs <- "transport: " + err.Error()
+					continue
+				}
+				echo, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if string(echo) != body {
+						errs <- fmt.Sprintf("%s: echo %q != body %q", fn, echo, body)
+					}
+				case http.StatusTooManyRequests:
+				case http.StatusNotFound:
+					if fn != fns[2] {
+						errs <- fmt.Sprintf("%s: unexpected 404", fn)
+					}
+				default:
+					errs <- fmt.Sprintf("%s: status %d", fn, resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+	// Concurrent undeployer: rip fns[2] out repeatedly while traffic flows.
+	// The first round must find it deployed; later rounds race with the
+	// gateway's re-registration, either outcome is legal.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if !s.Undeploy(fns[2], isolation.ModeGH) {
+			errs <- "first undeploy found nothing deployed"
+		}
+		for i := 0; i < 4; i++ {
+			time.Sleep(2 * time.Millisecond)
+			s.Undeploy(fns[2], isolation.ModeGH)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	// The survivors kept serving throughout and traffic still flows after.
+	for _, fn := range fns {
+		if status, _, _ := postFn(t, fnURL(ts.URL, fn), "after"); status != http.StatusOK {
+			t.Fatalf("post-race %s: %d", fn, status)
+		}
+	}
+	if snap := g.Snapshot(); snap.Served < uint64(workers*perW)/2 {
+		t.Fatalf("served only %d of %d requests", snap.Served, workers*perW)
+	}
+}
+
+// parkRoute arms the admitted-hook to park requests for fn (only) until the
+// returned release func runs.
+func parkRoute(g *Gateway, fn string) (release func()) {
+	block := make(chan struct{})
+	g.testHookAdmitted.Store(func(rt *route) {
+		if rt.name == fn {
+			<-block
+		}
+	})
+	var once sync.Once
+	return func() { once.Do(func() { close(block) }) }
+}
+
+// TestGatewayBackpressure429AndDrain: filling a deployment's admission
+// queue sheds further load with 429 + a sane Retry-After; once the queue
+// drains, the same deployment answers 200 again.
+func TestGatewayBackpressure429AndDrain(t *testing.T) {
+	_, g := newGateway(t, Config{QueueDepth: 2})
+	ts := serveHTTP(t, g)
+	fn := "get-time (p)"
+	u := fnURL(ts.URL, fn)
+	if status, _, _ := postFn(t, u, "warm"); status != http.StatusOK {
+		t.Fatal("warmup failed")
+	}
+
+	release := parkRoute(g, fn)
+	defer release()
+	rt, err := g.route(fn, ghModeIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parked sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		parked.Add(1)
+		go func() {
+			defer parked.Done()
+			status, _, _ := postFn(t, u, "parked")
+			if status != http.StatusOK {
+				t.Errorf("parked request: status %d, want 200 after drain", status)
+			}
+		}()
+	}
+	waitUntil(t, "queue to fill", func() bool { return len(rt.slots) == 2 })
+
+	status, body, hdr := postFn(t, u, "shed")
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("full queue: status %d, want 429", status)
+	}
+	if !strings.Contains(body, "queue full") {
+		t.Fatalf("429 body = %q", body)
+	}
+	ra, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want integer >= 1", hdr.Get("Retry-After"))
+	}
+	if g.Snapshot().Rejected == 0 {
+		t.Fatal("rejected counter not bumped")
+	}
+
+	release()
+	parked.Wait()
+	if status, _, _ := postFn(t, u, "resumed"); status != http.StatusOK {
+		t.Fatalf("after drain: status %d, want 200", status)
+	}
+}
+
+// TestGatewayQueueIsolation: a saturated deployment must not wedge its
+// neighbors — admission queues are per-deployment.
+func TestGatewayQueueIsolation(t *testing.T) {
+	_, g := newGateway(t, Config{QueueDepth: 1})
+	ts := serveHTTP(t, g)
+	hot, cold := "get-time (p)", "version (p)"
+	for _, fn := range []string{hot, cold} {
+		if status, _, _ := postFn(t, fnURL(ts.URL, fn), "warm"); status != http.StatusOK {
+			t.Fatalf("warmup %s failed", fn)
+		}
+	}
+
+	release := parkRoute(g, hot)
+	defer release()
+	rt, err := g.route(hot, ghModeIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parked sync.WaitGroup
+	parked.Add(1)
+	go func() {
+		defer parked.Done()
+		postFn(t, fnURL(ts.URL, hot), "parked")
+	}()
+	waitUntil(t, "hot queue to fill", func() bool { return len(rt.slots) == 1 })
+
+	if status, _, _ := postFn(t, fnURL(ts.URL, hot), "shed"); status != http.StatusTooManyRequests {
+		t.Fatalf("hot fn: status %d, want 429", status)
+	}
+	for i := 0; i < 3; i++ {
+		if status, _, _ := postFn(t, fnURL(ts.URL, cold), "fine"); status != http.StatusOK {
+			t.Fatalf("cold fn while hot saturated: status %d, want 200", status)
+		}
+	}
+	release()
+	parked.Wait()
+}
+
+// TestGatewayFaultInjection: the PR 6 invariants hold over real HTTP. A
+// deterministic fault plan (mid-request crash on the 2nd request, restore
+// fault a few requests later) is armed behind the gateway; every accepted
+// request gets exactly one response — 200 with an intact echo or 503 +
+// Retry-After for transient failures — and after shutdown no deployment
+// leaks a single frame.
+func TestGatewayFaultInjection(t *testing.T) {
+	s, g := newGateway(t, Config{})
+	ts := serveHTTP(t, g)
+	fn := "version (p)"
+	u := fnURL(ts.URL, fn)
+
+	h, err := s.DataPlane(fn, isolation.ModeGH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ArmFaults(faults.Plan{
+		Seed: 1,
+		Schedule: map[faults.Site][]uint64{
+			faults.SiteRequestCrash: {2},
+			faults.SiteRestore:      {5},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 12
+	var ok, transient int
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf("req-%d", i)
+		status, echo, hdr := postFn(t, u, body)
+		switch status {
+		case http.StatusOK:
+			ok++
+			if echo != body {
+				t.Fatalf("request %d: echo %q != body %q", i, echo, body)
+			}
+		case http.StatusServiceUnavailable:
+			transient++
+			if hdr.Get("Retry-After") == "" {
+				t.Fatalf("request %d: 503 without Retry-After", i)
+			}
+		default:
+			t.Fatalf("request %d: status %d, want 200 or 503", i, status)
+		}
+	}
+	if ok+transient != n {
+		t.Fatalf("responses %d+%d != %d requests", ok, transient, n)
+	}
+	if transient == 0 {
+		t.Fatal("scheduled crash produced no 503")
+	}
+	if ok < n-4 {
+		t.Fatalf("only %d/%d requests served around the faults", ok, n)
+	}
+	snap := g.Snapshot()
+	if snap.Served != uint64(ok) || snap.Transient != uint64(transient) {
+		t.Fatalf("snapshot %+v, want served=%d transient=%d", snap, ok, transient)
+	}
+
+	_ = g.Close()
+	if leaked := s.Shutdown(); leaked != 0 {
+		t.Fatalf("shutdown leaked %d frames", leaked)
+	}
+}
+
+// TestGatewayUndeployedRouteReregisters: after Undeploy, the cached route
+// fails once with 404 (gone) at most, and the very next request deploys a
+// fresh platform — counters restart from zero on the control plane.
+func TestGatewayUndeployedRouteReregisters(t *testing.T) {
+	s, g := newGateway(t, Config{})
+	ts := serveHTTP(t, g)
+	fn := "get-time (p)"
+	u := fnURL(ts.URL, fn)
+	for i := 0; i < 3; i++ {
+		if status, _, _ := postFn(t, u, "x"); status != http.StatusOK {
+			t.Fatal("warmup failed")
+		}
+	}
+	if !s.Undeploy(fn, isolation.ModeGH) {
+		t.Fatal("undeploy found nothing")
+	}
+	// The stale cached route answers gone exactly once, then the gateway
+	// re-registers; sequential requests therefore see at most one 404.
+	gones := 0
+	for i := 0; i < 3; i++ {
+		status, _, _ := postFn(t, u, "y")
+		switch status {
+		case http.StatusNotFound:
+			gones++
+		case http.StatusOK:
+		default:
+			t.Fatalf("status %d after undeploy", status)
+		}
+	}
+	if gones > 1 {
+		t.Fatalf("%d gone responses after a single undeploy, want <= 1", gones)
+	}
+	if status, _, _ := postFn(t, u, "z"); status != http.StatusOK {
+		t.Fatal("route did not re-register")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package gateway
+
+// raceEnabled reports whether the race detector is compiled in. See
+// race_enabled_test.go.
+const raceEnabled = false

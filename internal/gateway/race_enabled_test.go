@@ -1,0 +1,8 @@
+//go:build race
+
+package gateway
+
+// raceEnabled reports whether the race detector is compiled in. The
+// instrumented runtime allocates on paths that are allocation-free in a
+// normal build, so the differential alloc guard skips itself under -race.
+const raceEnabled = true

@@ -1,0 +1,158 @@
+// Differential allocation measurement for BENCH_server.json: the serving
+// hot path driven directly (no kernel sockets, no net/http server
+// machinery), mallocs counted over two window sizes so one-time growth
+// cancels — the same technique the tier-1 alloc guards pin, exported here
+// so the benchmark commits the numbers and benchdiff gates them.
+
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"runtime"
+
+	"groundhog/internal/gateway"
+	"groundhog/internal/isolation"
+	"groundhog/internal/server"
+)
+
+// HotpathAllocs is the differential allocation profile of the serving
+// path for one warmed deployment.
+type HotpathAllocs struct {
+	// BarePerRequest: mallocs/request of the raw server Handle.Invoke —
+	// the simulated runtime's own cost (address-space layout churn),
+	// everything below the gateway.
+	BarePerRequest float64
+	// HTTPPerRequest / BinaryPerRequest: mallocs/request through the
+	// respective gateway plane, simulated invoke included.
+	HTTPPerRequest   float64
+	BinaryPerRequest float64
+	// HTTPOverhead / BinaryOverhead: the gateway's own addition (plane
+	// minus bare, clamped at 0 — sub-zero is measurement noise).
+	HTTPOverhead   float64
+	BinaryOverhead float64
+}
+
+// MeasureHotpathAllocs builds a dedicated server+gateway, warms one
+// deployment of fn, and measures all three paths. Run without -race; the
+// instrumented runtime allocates on otherwise allocation-free paths.
+func MeasureHotpathAllocs(fn string, payloadBytes int) (HotpathAllocs, error) {
+	s := server.New()
+	defer s.Shutdown()
+	g := gateway.New(s, gateway.Config{})
+	defer g.Close()
+
+	h, err := s.DataPlane(fn, isolation.ModeGH)
+	if err != nil {
+		return HotpathAllocs{}, err
+	}
+	payload := bytes.Repeat([]byte("x"), payloadBytes)
+
+	bare := func() error {
+		_, err := h.Invoke("")
+		return err
+	}
+
+	// HTTP: direct ServeHTTP with a reused request/response pair.
+	br := bytes.NewReader(payload)
+	req := &http.Request{
+		Method: http.MethodPost,
+		URL:    &url.URL{Path: "/fn/" + fn},
+		Header: http.Header{},
+		Body:   reusableBody{br},
+	}
+	w := &discardRW{h: http.Header{}}
+	doHTTP := func() error {
+		br.Reset(payload)
+		w.status = 0
+		g.ServeHTTP(w, req)
+		if w.status != http.StatusOK {
+			return fmt.Errorf("hotpath http: status %d", w.status)
+		}
+		return nil
+	}
+
+	// Binary: an in-process pipe served by the gateway, driven by the
+	// reference client (both sides reuse their buffers).
+	cliConn, srvConn := net.Pipe()
+	defer cliConn.Close()
+	go func() { _ = g.ServeBinaryConn(srvConn) }()
+	bc := gateway.NewBinaryClient(cliConn)
+	id, err := bc.Resolve(fn, "")
+	if err != nil {
+		return HotpathAllocs{}, err
+	}
+	doBin := func() error {
+		res, err := bc.Invoke(id, "", payload)
+		if err != nil {
+			return err
+		}
+		if len(res.Body) != len(payload) {
+			return fmt.Errorf("hotpath binary: echo %d bytes, sent %d", len(res.Body), len(payload))
+		}
+		return nil
+	}
+
+	var out HotpathAllocs
+	if out.BarePerRequest, err = perRequestMallocs(bare); err != nil {
+		return HotpathAllocs{}, err
+	}
+	if out.HTTPPerRequest, err = perRequestMallocs(doHTTP); err != nil {
+		return HotpathAllocs{}, err
+	}
+	if out.BinaryPerRequest, err = perRequestMallocs(doBin); err != nil {
+		return HotpathAllocs{}, err
+	}
+	out.HTTPOverhead = max(0, out.HTTPPerRequest-out.BarePerRequest)
+	out.BinaryOverhead = max(0, out.BinaryPerRequest-out.BarePerRequest)
+	return out, nil
+}
+
+// perRequestMallocs warms do, then differences a short and a long window:
+// per-request cost rides only on the extra requests of the longer window.
+func perRequestMallocs(do func() error) (float64, error) {
+	measure := func(n int) (uint64, error) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < n; i++ {
+			if err := do(); err != nil {
+				return 0, err
+			}
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs, nil
+	}
+	for i := 0; i < 200; i++ {
+		if err := do(); err != nil {
+			return 0, err
+		}
+	}
+	short, err := measure(300)
+	if err != nil {
+		return 0, err
+	}
+	long, err := measure(900)
+	if err != nil {
+		return 0, err
+	}
+	return float64(long-short) / 600, nil
+}
+
+// discardRW reuses one header map and discards the body.
+type discardRW struct {
+	h      http.Header
+	status int
+}
+
+func (w *discardRW) Header() http.Header         { return w.h }
+func (w *discardRW) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardRW) WriteHeader(s int)           { w.status = s }
+
+// reusableBody adapts a resettable bytes.Reader to io.ReadCloser.
+type reusableBody struct{ *bytes.Reader }
+
+func (reusableBody) Close() error { return nil }

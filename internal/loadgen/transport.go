@@ -1,0 +1,119 @@
+// Transport clients: the HTTP and binary-protocol implementations of
+// Client. Both verify the echoed body byte-for-byte — payload corruption
+// counts as ClassError, not a served request.
+
+package loadgen
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"groundhog/internal/gateway"
+	"groundhog/internal/isolation"
+)
+
+// HTTPDial returns a Dial for the gateway's HTTP data plane at baseURL
+// (e.g. "http://127.0.0.1:8080"). mode "" uses the server default. All
+// clients from one Dial share a connection-pooling transport; each worker
+// still gets its own Client (reused read buffer).
+func HTTPDial(baseURL, fn string, mode isolation.Mode) Dial {
+	u := strings.TrimSuffix(baseURL, "/") + "/fn/" + url.PathEscape(fn)
+	shared := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: 256,
+	}}
+	return func() (Client, error) {
+		return &httpClient{url: u, mode: string(mode), c: shared}, nil
+	}
+}
+
+type httpClient struct {
+	url  string
+	mode string
+	c    *http.Client
+	buf  bytes.Buffer
+	body bytes.Reader
+}
+
+func (h *httpClient) Do(payload []byte) (Class, error) {
+	h.body.Reset(payload)
+	req, err := http.NewRequest(http.MethodPost, h.url, &h.body)
+	if err != nil {
+		return ClassError, err
+	}
+	if h.mode != "" {
+		req.Header.Set("X-Gh-Mode", h.mode)
+	}
+	resp, err := h.c.Do(req)
+	if err != nil {
+		return ClassError, err
+	}
+	defer resp.Body.Close()
+	h.buf.Reset()
+	if _, err := io.Copy(&h.buf, resp.Body); err != nil {
+		return ClassError, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if !bytes.Equal(h.buf.Bytes(), payload) {
+			return ClassError, fmt.Errorf("echo mismatch: %d bytes back, %d sent", h.buf.Len(), len(payload))
+		}
+		return ClassOK, nil
+	case http.StatusTooManyRequests:
+		return ClassRejected, nil
+	case http.StatusServiceUnavailable:
+		return ClassTransient, nil
+	default:
+		return ClassError, fmt.Errorf("status %d: %s", resp.StatusCode, h.buf.String())
+	}
+}
+
+func (h *httpClient) Close() error { return nil }
+
+// BinaryDial returns a Dial for the gateway's binary listener at addr. The
+// route is resolved once per connection and cached.
+func BinaryDial(addr, fn string, mode isolation.Mode) Dial {
+	return func() (Client, error) {
+		c, err := gateway.DialBinary(addr)
+		if err != nil {
+			return nil, err
+		}
+		id, err := c.Resolve(fn, mode)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		return &binClient{c: c, id: id}, nil
+	}
+}
+
+type binClient struct {
+	c  *gateway.BinaryClient
+	id uint32
+}
+
+func (b *binClient) Do(payload []byte) (Class, error) {
+	res, err := b.c.Invoke(b.id, "", payload)
+	if err != nil {
+		var pe *gateway.ProtoError
+		if errors.As(err, &pe) {
+			switch pe.Code {
+			case gateway.CodeQueueFull:
+				return ClassRejected, nil
+			case gateway.CodeTransient:
+				return ClassTransient, nil
+			}
+		}
+		return ClassError, err
+	}
+	if !bytes.Equal(res.Body, payload) {
+		return ClassError, fmt.Errorf("echo mismatch: %d bytes back, %d sent", len(res.Body), len(payload))
+	}
+	return ClassOK, nil
+}
+
+func (b *binClient) Close() error { return b.c.Close() }

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Locked wraps a Recorder with a mutex so concurrent producers — the
+// gateway's per-request latency accounting, ghload's worker goroutines —
+// can share one recorder. The simulation paths stay lock-free: they are
+// single-threaded by construction, and wrapping there would only buy
+// contention. Locking wraps every Recorder method, including the read side,
+// so a live reporter can read percentiles while workers keep recording.
+func Locked(r Recorder) Recorder {
+	return &lockedRecorder{r: r}
+}
+
+type lockedRecorder struct {
+	mu sync.Mutex
+	r  Recorder
+}
+
+func (l *lockedRecorder) Add(v float64) {
+	l.mu.Lock()
+	l.r.Add(v)
+	l.mu.Unlock()
+}
+
+func (l *lockedRecorder) AddDuration(d time.Duration) {
+	l.mu.Lock()
+	l.r.AddDuration(d)
+	l.mu.Unlock()
+}
+
+func (l *lockedRecorder) N() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.N()
+}
+
+func (l *lockedRecorder) Mean() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Mean()
+}
+
+func (l *lockedRecorder) Percentile(p float64) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Percentile(p)
+}
+
+func (l *lockedRecorder) Median() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Median()
+}
+
+func (l *lockedRecorder) P99() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.P99()
+}
+
+func (l *lockedRecorder) P999() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.P999()
+}
+
+func (l *lockedRecorder) Min() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Min()
+}
+
+func (l *lockedRecorder) Max() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Max()
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLockedRecorderConcurrentAdds: many producers into one wrapped sketch,
+// with a reader polling percentiles mid-stream, must neither race (the -race
+// CI step runs this package) nor drop samples.
+func TestLockedRecorderConcurrentAdds(t *testing.T) {
+	rec := Locked(NewSketch(0.01))
+	const (
+		workers = 8
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rec.Percentile(95)
+				rec.Mean()
+			}
+		}
+	}()
+	var pw sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pw.Add(1)
+		go func(w int) {
+			defer pw.Done()
+			for i := 0; i < perW; i++ {
+				rec.Add(float64(w*perW + i))
+			}
+		}(w)
+	}
+	pw.Wait()
+	close(stop)
+	wg.Wait()
+	if got := rec.N(); got != workers*perW {
+		t.Fatalf("N = %d, want %d", got, workers*perW)
+	}
+	if rec.Min() != 0 || rec.Max() != float64(workers*perW-1) {
+		t.Fatalf("min/max = %v/%v", rec.Min(), rec.Max())
+	}
+}
+
+// TestLockedRecorderDelegates: the wrapper answers what the wrapped recorder
+// answers.
+func TestLockedRecorderDelegates(t *testing.T) {
+	exact := NewSummary(nil)
+	rec := Locked(exact)
+	for i := 1; i <= 100; i++ {
+		rec.Add(float64(i))
+	}
+	if rec.N() != 100 || rec.Mean() != 50.5 {
+		t.Fatalf("N=%d mean=%v", rec.N(), rec.Mean())
+	}
+	if rec.Median() != exact.Median() || rec.P99() != exact.P99() {
+		t.Fatal("wrapper and wrapped disagree")
+	}
+}

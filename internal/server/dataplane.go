@@ -1,0 +1,216 @@
+// Data-plane seam: the exported deployment handle internal/gateway routes
+// through. The control-plane HTTP handlers (/invoke, /deployments) stay the
+// human-facing JSON surface; the gateway's hot path needs the same
+// deployment registry and per-deployment serialization without any JSON —
+// raw request in, RequestStats out — plus lifecycle operations (undeploy,
+// shutdown) a serving front end must survive mid-traffic.
+
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"groundhog/internal/faas"
+	"groundhog/internal/faults"
+	"groundhog/internal/isolation"
+	"groundhog/internal/metrics"
+)
+
+// ErrGone reports an invoke against a deployment that was undeployed (or a
+// server that was shut down). The gateway maps it to 404 and drops its
+// cached route; a later request re-registers a fresh deployment.
+var ErrGone = errors.New("server: deployment gone")
+
+// Handle is an opaque reference to one fn × mode deployment, valid until
+// the deployment is undeployed. Handles are cheap and safe to cache: all
+// methods serialize on the deployment's own lock, never the server's, so
+// unrelated deployments invoke concurrently.
+type Handle struct {
+	s   *Server
+	dep *deployment
+}
+
+// DataPlane returns (registering if needed) the invoke handle for
+// fn × mode. Unknown functions and modes fail here, so the gateway's hot
+// path never re-validates.
+func (s *Server) DataPlane(fn string, mode isolation.Mode) (*Handle, error) {
+	if !validMode(mode) {
+		return nil, fmt.Errorf("unknown mode %q; valid modes: %s", mode, modeList())
+	}
+	dep, err := s.deployment(fn, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{s: s, dep: dep}, nil
+}
+
+// Invoke runs one request from caller against the deployment, deploying the
+// platform on first use and — unlike the control plane — re-pooling an
+// empty deployment (crash-drained or reaped to zero) with a fresh cold
+// start before giving up: a data plane heals its pool rather than shedding
+// every request after a failure burst. Transient failures (injected
+// crashes, exhausted cold-start retries) still propagate for the caller to
+// map to 503 + Retry-After.
+func (h *Handle) Invoke(caller string) (faas.RequestStats, error) {
+	dep := h.dep
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	if dep.gone {
+		return faas.RequestStats{}, ErrGone
+	}
+	if dep.platform == nil {
+		if err := dep.deploy(); err != nil {
+			h.s.undeploy(dep)
+			dep.gone = true
+			return faas.RequestStats{}, err
+		}
+	}
+	dep.host.mu.Lock()
+	if len(dep.platform.Containers()) == 0 {
+		// Self-heal: one scale-up attempt (the platform's own retry budget
+		// applies inside). Failure is transient — the next request tries
+		// again.
+		if _, err := dep.platform.AddContainer(); err != nil {
+			dep.host.mu.Unlock()
+			return faas.RequestStats{}, err
+		}
+	}
+	st, err := dep.platform.InvokeOnce(caller)
+	dep.host.mu.Unlock()
+	if err != nil {
+		return faas.RequestStats{}, err
+	}
+	dep.record(st)
+	return st, nil
+}
+
+// ColdStartMeanMs reports the deployment's observed mean cold-start cost in
+// milliseconds over every scale-up so far (full pipeline and clones
+// pooled), or 0 before the first deploy — the signal the gateway derives
+// Retry-After from when it sheds load.
+func (h *Handle) ColdStartMeanMs() float64 {
+	dep := h.dep
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	if dep.platform == nil {
+		return 0
+	}
+	cold := dep.platform.ColdStarts()
+	if n := cold.Full + cold.Clone; n > 0 {
+		return float64(cold.TotalCost) / 1e6 / float64(n)
+	}
+	return 0
+}
+
+// ArmFaults arms a deterministic fault plan on the deployment's host kernel
+// (deploying the platform first if needed). The injector sits on the shared
+// host kernel, so colocated deployments on the same host see the same
+// seams armed — tests wanting a single blast radius run SetHosts(1) or a
+// dedicated function.
+func (h *Handle) ArmFaults(plan faults.Plan) error {
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	dep := h.dep
+	dep.mu.Lock()
+	defer dep.mu.Unlock()
+	if dep.gone {
+		return ErrGone
+	}
+	if dep.platform == nil {
+		if err := dep.deploy(); err != nil {
+			return err
+		}
+	}
+	dep.host.mu.Lock()
+	dep.platform.Kern.Faults = faults.New(plan)
+	dep.host.mu.Unlock()
+	return nil
+}
+
+// Undeploy removes fn × mode mid-traffic: the deployment leaves the
+// registry, its containers and snapshot image are torn down (frames back to
+// the host pool), and cached handles fail with ErrGone. An in-flight invoke
+// holding the deployment lock completes and delivers its response first —
+// undeploy never loses an accepted request. Returns false when no such
+// deployment exists.
+func (s *Server) Undeploy(fn string, mode isolation.Mode) bool {
+	s.mu.Lock()
+	key := fn + "|" + string(mode)
+	dep, ok := s.deployments[key]
+	if ok {
+		delete(s.deployments, key)
+		dep.host.load--
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	dep.mu.Lock()
+	dep.gone = true
+	dep.teardown()
+	dep.mu.Unlock()
+	return true
+}
+
+// Shutdown undeploys everything and reports the residual frame count across
+// all host kernels — zero when no deployment leaked memory (the serving
+// analogue of trace.Fleet.Teardown). The server keeps answering after
+// shutdown: invokes fail with ErrGone until a new deployment registers.
+func (s *Server) Shutdown() int {
+	s.mu.Lock()
+	deps := make([]*deployment, 0, len(s.deployments))
+	for _, dep := range s.deployments {
+		deps = append(deps, dep)
+	}
+	s.deployments = make(map[string]*deployment)
+	hosts := s.hosts
+	s.mu.Unlock()
+
+	for _, dep := range deps {
+		dep.mu.Lock()
+		dep.gone = true
+		dep.host.load--
+		dep.teardown()
+		dep.mu.Unlock()
+	}
+	total := 0
+	for _, h := range hosts {
+		h.mu.Lock()
+		total += h.kern.Phys.InUse()
+		h.mu.Unlock()
+	}
+	return total
+}
+
+// teardown releases the deployment's platform memory: every container
+// removed (address spaces exited, snapshot frame references released) and
+// the exported image evicted. Caller holds dep.mu.
+func (dep *deployment) teardown() {
+	if dep.platform == nil {
+		return
+	}
+	dep.host.mu.Lock()
+	for {
+		cs := dep.platform.Containers()
+		if len(cs) == 0 {
+			break
+		}
+		dep.platform.RemoveContainer(cs[0])
+	}
+	dep.platform.EvictImage()
+	dep.host.mu.Unlock()
+}
+
+// record updates the per-deployment request counters after a served
+// request. Caller holds dep.mu; both the control plane's /invoke and the
+// gateway's Handle.Invoke fold through here so the /deployments listing
+// counts every served request once, whichever plane served it.
+func (dep *deployment) record(st faas.RequestStats) {
+	dep.invoked++
+	dep.e2e = metrics.PushBounded(dep.e2e, float64(st.E2E)/1e6, e2eWindow)
+	if st.Restored {
+		dep.restored++
+	}
+}

@@ -89,6 +89,10 @@ type deployment struct {
 
 	mu       sync.Mutex
 	platform *faas.Platform
+	// gone marks an undeployed deployment: the record left the registry
+	// (Undeploy, Shutdown) and cached data-plane handles must fail with
+	// ErrGone instead of reviving it.
+	gone     bool
 	invoked  int
 	restored int
 	// e2e is a drop-oldest ring of recent per-request end-to-end latency
@@ -244,6 +248,12 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 
 	dep.mu.Lock()
 	defer dep.mu.Unlock()
+	if dep.gone {
+		// Undeployed between the registry lookup and the lock: the record is
+		// already out of the map, so the client's retry re-registers afresh.
+		http.Error(w, ErrGone.Error(), http.StatusNotFound)
+		return
+	}
 	fresh := dep.platform == nil
 	if fresh {
 		if err := dep.deploy(); err != nil {
@@ -271,11 +281,7 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	dep.invoked++
-	dep.e2e = metrics.PushBounded(dep.e2e, float64(st.E2E)/1e6, e2eWindow)
-	if st.Restored {
-		dep.restored++
-	}
+	dep.record(st)
 	resp := InvokeResponse{
 		Function:     fn,
 		Mode:         string(mode),

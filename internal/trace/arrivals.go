@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"math"
+
+	"groundhog/internal/sim"
+)
+
+// ArrivalProcess is a FunctionLoad's arrival process detached from any
+// fleet: a deterministic sampler of interarrival gaps that wall-clock
+// consumers — cmd/ghload's open-loop driver — can replay against a real
+// server. It draws from exactly the distribution the fleet simulation uses
+// (exponential at Burstiness <= 1, two-phase balanced hyperexponential
+// above, optional diurnal rate modulation), so an open-loop load test
+// offers the server the same traffic shape the virtual-cost benchmarks
+// dispatch in simulation.
+type ArrivalProcess struct {
+	load FunctionLoad
+	rng  *sim.Rand
+}
+
+// NewArrivalProcess returns a sampler for load seeded with seed. Two
+// processes with equal load and seed draw identical gap sequences.
+func NewArrivalProcess(load FunctionLoad, seed uint64) *ArrivalProcess {
+	return &ArrivalProcess{load: load, rng: sim.NewRand(seed)}
+}
+
+// Next draws the gap to the following arrival. now is the offset into the
+// traffic window (diurnal modulation evaluates its sinusoid there); loads
+// without diurnal fields ignore it. Wall-clock callers pass the elapsed
+// time since the run started, one nanosecond per sim tick.
+func (p *ArrivalProcess) Next(now sim.Time) sim.Duration {
+	return drawInterarrival(p.load, p.rng, now)
+}
+
+// drawInterarrival is the shared arrival-gap draw behind both the fleet's
+// fnState and the standalone ArrivalProcess: exponential for
+// Burstiness <= 1, hyperexponential (two-phase) above. A diurnal load
+// evaluates its modulated rate at the current time (a standard
+// thinning-free approximation: gaps are short against the period, so the
+// rate is treated as constant across one gap).
+func drawInterarrival(load FunctionLoad, rng *sim.Rand, now sim.Time) sim.Duration {
+	rate := load.RatePerSec
+	if a, p := load.DiurnalAmplitude, load.DiurnalPeriod; a > 0 && p > 0 {
+		rate *= 1 + a*math.Sin(2*math.Pi*float64(now)/float64(p)+load.DiurnalPhase)
+	}
+	mean := 1e9 / rate
+	cv := load.Burstiness
+	u := rng.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	exp := -math.Log(u)
+	if cv <= 1 {
+		return sim.Duration(mean * exp)
+	}
+	// Two-phase balanced hyperexponential: phase 1 is chosen with
+	// probability p and has rate 2p/mean, phase 2 with 1-p and rate
+	// 2(1-p)/mean; the mixture keeps the requested mean with CV > 1.
+	p := 0.5 * (1 + math.Sqrt((cv*cv-1)/(cv*cv+1)))
+	var phaseRate float64
+	if rng.Float64() < p {
+		phaseRate = 2 * p / mean
+	} else {
+		phaseRate = 2 * (1 - p) / mean
+	}
+	return sim.Duration(exp / phaseRate)
+}

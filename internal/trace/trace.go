@@ -13,7 +13,6 @@ package trace
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"time"
 
@@ -593,37 +592,11 @@ func (f *Fleet) signals(fs *fnState, now sim.Time) Signals {
 	return sig
 }
 
-// interarrival draws the next gap for a function: exponential for
-// Burstiness <= 1, hyperexponential (two-phase) above. A diurnal load
-// evaluates its modulated rate at the current time (a standard thinning-free
-// approximation: gaps are short against the period, so the rate is treated
-// as constant across one gap).
+// interarrival draws the next gap for a function (drawInterarrival on the
+// function's own stream — the extraction point for the standalone
+// ArrivalProcess, which must stay draw-for-draw identical).
 func (fs *fnState) interarrival(now sim.Time) sim.Duration {
-	rate := fs.load.RatePerSec
-	if a, p := fs.load.DiurnalAmplitude, fs.load.DiurnalPeriod; a > 0 && p > 0 {
-		rate *= 1 + a*math.Sin(2*math.Pi*float64(now)/float64(p)+fs.load.DiurnalPhase)
-	}
-	mean := 1e9 / rate
-	cv := fs.load.Burstiness
-	u := fs.rng.Float64()
-	if u <= 0 {
-		u = 1e-12
-	}
-	exp := -math.Log(u)
-	if cv <= 1 {
-		return sim.Duration(mean * exp)
-	}
-	// Two-phase balanced hyperexponential: phase 1 is chosen with
-	// probability p and has rate 2p/mean, phase 2 with 1-p and rate
-	// 2(1-p)/mean; the mixture keeps the requested mean with CV > 1.
-	p := 0.5 * (1 + math.Sqrt((cv*cv-1)/(cv*cv+1)))
-	var phaseRate float64
-	if fs.rng.Float64() < p {
-		phaseRate = 2 * p / mean
-	} else {
-		phaseRate = 2 * (1 - p) / mean
-	}
-	return sim.Duration(exp / phaseRate)
+	return drawInterarrival(fs.load, fs.rng, now)
 }
 
 // Run executes the configured window and returns the results.
