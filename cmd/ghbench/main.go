@@ -30,7 +30,7 @@ var experimentNames = []string{
 	"ablation-uffd", "ablation-coalesce", "ablation-trust", "ablation-statestore",
 	"ablation-timevirt", "loadsweep", "related-work", "fleet", "bench-restore",
 	"bench-coldstart", "bench-fleet", "bench-policy", "bench-faults",
-	"bench-fleet-xl", "bench-cluster",
+	"bench-fleet-xl", "bench-cluster", "bench-scenarios",
 }
 
 func main() {
@@ -55,6 +55,8 @@ func main() {
 		"output path for the bench-fleet-xl JSON summary (empty disables)")
 	flag.StringVar(&clusterJSONPath, "cluster-json", "BENCH_cluster.json",
 		"output path for the bench-cluster JSON summary (empty disables)")
+	flag.StringVar(&scenariosJSONPath, "scenarios-json", "BENCH_scenarios.json",
+		"output path for the bench-scenarios JSON summary (empty disables)")
 	flag.Parse()
 
 	if *list {
@@ -191,6 +193,8 @@ func run(cfg experiments.Config, names []string, quick bool) error {
 			tb, err = benchFleetXL(cfg, quick)
 		case "bench-cluster":
 			tb, err = benchCluster(cfg, quick)
+		case "bench-scenarios":
+			tb, err = benchScenarios(cfg, quick)
 		default:
 			return fmt.Errorf("unknown experiment %q (try -list)", name)
 		}
@@ -360,4 +364,25 @@ func benchCluster(cfg experiments.Config, quick bool) (*metrics.Table, error) {
 		return nil, err
 	}
 	return experiments.ClusterBenchTable(res), nil
+}
+
+// scenariosJSONPath is where benchScenarios writes its summary.
+var scenariosJSONPath string
+
+// benchScenarios runs the workload-scenario benchmark — a staged chain with
+// fan-out, stateful functions against the external state store, and one
+// function under three runtime overlays, each on a clone-scale-out GH
+// fleet — and writes BENCH_scenarios.json (one entry per scenario) so CI
+// can hold the scenario invariants: chains_lost, lost_requests, and
+// leaked_frames identity-gated at zero, the per-scenario slo_met booleans
+// at identity, and the latency/cost tails drift-gated.
+func benchScenarios(cfg experiments.Config, quick bool) (*metrics.Table, error) {
+	res, err := experiments.ScenariosBench(cfg, quick)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeBenchJSON(scenariosJSONPath, []experiments.ScenariosBenchResult{res}); err != nil {
+		return nil, err
+	}
+	return experiments.ScenariosBenchTable(res), nil
 }

@@ -79,6 +79,63 @@ func TestDocsRelativeLinksResolve(t *testing.T) {
 	}
 }
 
+// benchRef matches committed-benchmark mentions; every one named in the
+// reference docs must exist under bench/baselines/, so the docs can never
+// describe a suite the gate does not actually pin (the drift this repo has
+// shipped before: prose describing baselines that lived somewhere else).
+var benchRef = regexp.MustCompile(`BENCH_[a-z_]+\.json`)
+
+// codeSpan captures inline code; spans that name repository paths are
+// checked against the tree below.
+var codeSpan = regexp.MustCompile("`([^`]+)`")
+
+// pathPrefixes are the repo-root-relative prefixes that make an inline code
+// span a path claim rather than an identifier.
+var pathPrefixes = []string{"internal/", "cmd/", "bench/", "examples/", ".github/"}
+
+// TestDocsBenchReferencesResolve pins the reference docs against the tree:
+// every BENCH_*.json mentioned in ARCHITECTURE.md or bench/README.md must
+// have a committed baseline, and every inline-code span naming a repository
+// path must resolve. Both files document the benchmark/gate surface, so a
+// stale mention means the workflow text no longer matches the repo.
+func TestDocsBenchReferencesResolve(t *testing.T) {
+	for _, f := range []string{"ARCHITECTURE.md", "bench/README.md"} {
+		blob, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := string(blob)
+		for _, name := range benchRef.FindAllString(doc, -1) {
+			baseline := filepath.Join("bench", "baselines", name)
+			if _, err := os.Stat(baseline); err != nil {
+				t.Errorf("%s mentions %s but %s does not exist", f, name, baseline)
+			}
+		}
+		for _, m := range codeSpan.FindAllStringSubmatch(doc, -1) {
+			// Only the leading token is a path claim ("cmd/benchdiff
+			// -baseline ..." names the command, not a file called that);
+			// globs like `cmd/*` are patterns, not paths.
+			token := strings.Fields(m[1])[0]
+			if strings.ContainsAny(token, "*<>") {
+				continue
+			}
+			isPath := false
+			for _, p := range pathPrefixes {
+				if strings.HasPrefix(token, p) {
+					isPath = true
+					break
+				}
+			}
+			if !isPath {
+				continue
+			}
+			if _, err := os.Stat(token); err != nil {
+				t.Errorf("%s: inline code path %q does not resolve", f, token)
+			}
+		}
+	}
+}
+
 var goFence = regexp.MustCompile("(?s)```go\n(.*?)```")
 
 // TestDocsGoExamplesGofmtClean extracts every ```go fence from the docs and

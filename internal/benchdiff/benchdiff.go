@@ -17,8 +17,9 @@
 //     drift beyond the threshold fails in either direction — improvements
 //     require an intentional re-baseline, exactly like regressions;
 //   - invariant counters ("leaked_frames", "lost_requests" from the
-//     fault-injection suite): must match the baseline exactly — the
-//     baseline pins them at zero, so any change is a recovery bug;
+//     fault-injection suite, "chains_lost" from the scenario suite): must
+//     match the baseline exactly — the baselines pin them at zero, so any
+//     change is a recovery (or chain-conservation) bug;
 //   - throughput floors (name contains "per_sec"): wall-clock dependent,
 //     so they are gated one-sided with a generous margin — only a collapse
 //     below PerSecFloorRatio of the baseline fails (an engine regression
@@ -162,10 +163,11 @@ func check(path string, bv, cv any, maxDrift float64) (Violation, bool) {
 	}
 	name := strings.ToLower(leafName(path))
 	switch {
-	case name == "leaked_frames" || name == "lost_requests":
-		// Hard invariants of the fault-injection suite: recovery must never
-		// drop a request or leak a frame, so any change — in either
-		// direction — is a violation, not drift.
+	case name == "leaked_frames" || name == "lost_requests" || name == "chains_lost":
+		// Hard invariants of the fault-injection and scenario suites:
+		// recovery must never drop a request, leak a frame, or abandon a
+		// chain mid-stage, so any change — in either direction — is a
+		// violation, not drift.
 		if cn != bn {
 			return Violation{Path: path, Baseline: fmtNum(bn), Current: fmtNum(cn),
 				Reason: "invariant counter changed (must match baseline exactly)"}, true
@@ -213,7 +215,7 @@ func gateRule(path string, bv any, maxDrift float64) string {
 	}
 	name := strings.ToLower(leafName(path))
 	switch {
-	case name == "leaked_frames" || name == "lost_requests":
+	case name == "leaked_frames" || name == "lost_requests" || name == "chains_lost":
 		return "invariant (exact)"
 	case strings.Contains(name, "allocs"):
 		return fmt.Sprintf("allocs (+%.1f slack)", AllocSlack)

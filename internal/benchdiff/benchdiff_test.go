@@ -40,6 +40,12 @@ const baseline = `[
     "leaked_frames": 0,
     "crashes": 7,
     "retry_backoff_virtual_us": 75000
+  },
+  {
+    "benchmark": "workload-scenarios",
+    "scenarios": [
+      {"scenario": "chain-pipeline", "chains_lost": 0, "slo_met": true}
+    ]
   }
 ]`
 
@@ -168,6 +174,26 @@ func TestInvariantCountersIdentityGated(t *testing.T) {
 	}
 	if len(vs) != 1 || !strings.Contains(vs[0].Path, "retry_backoff_virtual_us") {
 		t.Fatalf("retry-backoff drift not caught: %v", vs)
+	}
+}
+
+// TestChainConservationIdentityGated: the scenario suite's chains_lost is an
+// invariant counter like lost_requests — a chain abandoned mid-stage must
+// fail the gate exactly — and the per-scenario slo_met boolean is
+// identity-gated, so a flipped SLO verdict is a violation, not drift.
+func TestChainConservationIdentityGated(t *testing.T) {
+	cur := strings.Replace(baseline, `"chains_lost": 0`, `"chains_lost": 2`, 1)
+	vs, err := Compare([]byte(baseline), []byte(cur), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0].Path, "chains_lost") ||
+		!strings.Contains(vs[0].Reason, "invariant") {
+		t.Fatalf("chains-lost violation not caught: %v", vs)
+	}
+	cur = strings.Replace(baseline, `"slo_met": true`, `"slo_met": false`, 1)
+	if vs := mustCompare(t, cur); len(vs) != 1 || !strings.Contains(vs[0].Path, "slo_met") {
+		t.Fatalf("flipped SLO verdict not caught: %v", vs)
 	}
 }
 

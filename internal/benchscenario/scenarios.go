@@ -1,0 +1,154 @@
+package benchscenario
+
+import (
+	"fmt"
+	"time"
+
+	"groundhog/internal/catalog"
+	"groundhog/internal/runtimes"
+	"groundhog/internal/trace"
+)
+
+// Scenario is one canonical workload-scenario definition — the loads and
+// chains the bench-scenarios experiment, the trace package's scenario tests,
+// and examples/scenarios all run, so every consumer measures the same
+// workload (the same sharing contract SteadyState provides for the restore
+// microbenchmark).
+type Scenario struct {
+	// Name keys the scenario's entry in BENCH_scenarios.json.
+	Name string
+	// Loads deploys the scenario's functions; chain-fed functions carry
+	// RatePerSec 0 and receive work only through Chains.
+	Loads []trace.FunctionLoad
+	// Chains are the scenario's function compositions (empty for the
+	// single-function scenarios).
+	Chains []trace.Chain
+	// SLOTargetMs is the fleet-wide per-request SLO the scenario's
+	// functions are judged against (chains carry their own end-to-end
+	// target in Chain.SLOTargetMs).
+	SLOTargetMs float64
+}
+
+// lookup resolves catalog display names into loads, failing on typos rather
+// than silently shrinking a scenario.
+func lookup(names ...string) ([]trace.FunctionLoad, error) {
+	var loads []trace.FunctionLoad
+	for _, n := range names {
+		e, err := catalog.Lookup(n)
+		if err != nil {
+			return nil, fmt.Errorf("benchscenario: %w", err)
+		}
+		loads = append(loads, trace.FunctionLoad{Entry: e})
+	}
+	return loads, nil
+}
+
+// ChainPipeline is the function-composition scenario: a three-stage chain —
+// ingest, a two-function fan-out, aggregate — whose stage functions receive
+// no open-loop traffic of their own (RatePerSec 0, chain-fed). The slow
+// aggregate stage carries a per-function FixedTTL override with a long
+// keep-alive, so that stage holds warm capacity across chain arrivals while
+// the cheap early stages scale with the fleet default. The chain's SLO spans
+// end to end: a request misses it only if the whole composition is slow.
+func ChainPipeline(quick bool) (Scenario, error) {
+	loads, err := lookup("get-time (p)", "json (p)", "durbin (c)", "md2html (p)")
+	if err != nil {
+		return Scenario{}, err
+	}
+	// Aggregate stage: md2html is the chain's dominant cost; holding its
+	// container warm is what keeps the end-to-end tail inside the target.
+	loads[3].Policy = trace.FixedTTL{KeepAlive: 2 * time.Second}
+	rate := 25.0
+	if quick {
+		rate = 15
+	}
+	return Scenario{
+		Name:        "chain-pipeline",
+		Loads:       loads,
+		SLOTargetMs: 150,
+		Chains: []trace.Chain{{
+			Name: "ingest-compute-aggregate",
+			Stages: []trace.ChainStage{
+				{Functions: []string{"get-time (p)"}},
+				{Functions: []string{"json (p)", "durbin (c)"}},
+				{Functions: []string{"md2html (p)"}},
+			},
+			RatePerSec:  rate,
+			Burstiness:  1.5,
+			SLOTargetMs: 400,
+		}},
+	}, nil
+}
+
+// StatefulKV is the external-state scenario: the same short functions with
+// per-request get/put traffic against the modeled state store. Stateful
+// functions must keep cross-request state out-of-process — Groundhog's
+// restore wipes everything in-process — so each request pays
+// kernel.CostModel.StateGetCost/StatePutCost per operation, shifting the
+// restore-vs-keep-alive economics for state-heavy functions without
+// touching the wipe guarantee.
+func StatefulKV(quick bool) (Scenario, error) {
+	loads, err := lookup("get-time (p)", "json (p)", "autocomplete (n)")
+	if err != nil {
+		return Scenario{}, err
+	}
+	// Session lookup, document store, per-keystroke counter: light reads,
+	// read-modify-write, and write-heavy state traffic respectively.
+	ops := []struct{ gets, puts float64 }{{2, 0.25}, {1.5, 1.5}, {0.5, 3}}
+	rate := 30.0
+	if quick {
+		rate = 18
+	}
+	for i := range loads {
+		loads[i].Entry.Prof.StateGets = ops[i].gets
+		loads[i].Entry.Prof.StatePuts = ops[i].puts
+		loads[i].RatePerSec = rate
+		loads[i].Burstiness = 1.5
+	}
+	return Scenario{Name: "stateful-kv", Loads: loads, SLOTargetMs: 150}, nil
+}
+
+// RuntimeProfiles is the heterogeneous-runtime scenario: one measured
+// function deployed three times under the binary, Python, and Node runtime
+// overlays (tinyFaaS's deployment split), under identical arrivals. The
+// overlays give the copies distinct footprints, dirty rates, and warm-up
+// lengths, so placement and keep-alive decisions face real heterogeneity
+// across functions with identical compute.
+func RuntimeProfiles(quick bool) (Scenario, error) {
+	overlays := []runtimes.RuntimeProfile{
+		runtimes.RuntimeBinary, runtimes.RuntimePython, runtimes.RuntimeNode,
+	}
+	rate := 30.0
+	if quick {
+		rate = 18
+	}
+	var loads []trace.FunctionLoad
+	for _, rp := range overlays {
+		ls, err := lookup("bicg (c)")
+		if err != nil {
+			return Scenario{}, err
+		}
+		l := ls[0]
+		// Distinct display names keep the three deployments apart in the
+		// fleet (and in the per-function results).
+		l.Entry.Prof.Name = "bicg-" + rp.Name
+		l.Runtime = rp
+		l.RatePerSec = rate
+		l.Burstiness = 1.5
+		loads = append(loads, l)
+	}
+	return Scenario{Name: "runtime-profiles", Loads: loads, SLOTargetMs: 200}, nil
+}
+
+// All returns the three scenarios in BENCH_scenarios.json order.
+func All(quick bool) ([]Scenario, error) {
+	var out []Scenario
+	for _, build := range []func(bool) (Scenario, error){ChainPipeline, StatefulKV, RuntimeProfiles} {
+		s, err := build(quick)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

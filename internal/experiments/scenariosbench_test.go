@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScenariosBenchInvariants pins the gated shape of BENCH_scenarios.json:
+// three scenarios in canonical order, every invariant counter at zero
+// (conservation under the bench workload, not just the unit tests' toy
+// fleets), each scenario exercising the machinery it exists for, and each
+// meeting its SLO — the committed baseline holds the booleans at identity.
+func TestScenariosBenchInvariants(t *testing.T) {
+	res, err := ScenariosBench(quick(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"chain-pipeline", "stateful-kv", "runtime-profiles"}
+	if len(res.Scenarios) != len(want) {
+		t.Fatalf("got %d scenarios, want %d", len(res.Scenarios), len(want))
+	}
+	for i, e := range res.Scenarios {
+		if e.Scenario != want[i] {
+			t.Fatalf("scenario[%d] = %s, want %s", i, e.Scenario, want[i])
+		}
+		if e.Requests == 0 {
+			t.Fatalf("%s: served no requests", e.Scenario)
+		}
+		if e.LostRequests != 0 || e.LeakedFrames != 0 || e.ChainsLost != 0 {
+			t.Fatalf("%s: invariants violated: lost %d, leaked %d, chains lost %d",
+				e.Scenario, e.LostRequests, e.LeakedFrames, e.ChainsLost)
+		}
+		if !e.SLOMet {
+			t.Fatalf("%s: SLO missed (p95 %.1f ms vs target %.0f ms)",
+				e.Scenario, e.E2EP95VirtualMs, e.SLOTargetMs)
+		}
+	}
+	chain, stateful, profiles := res.Scenarios[0], res.Scenarios[1], res.Scenarios[2]
+	if chain.ChainsStarted == 0 || chain.ChainsCompleted != chain.ChainsStarted {
+		t.Fatalf("chain scenario conservation: started %d, completed %d",
+			chain.ChainsStarted, chain.ChainsCompleted)
+	}
+	if chain.ChainE2EP95VirtualMs <= 0 {
+		t.Fatal("chain scenario recorded no end-to-end latency")
+	}
+	if stateful.StateGets == 0 || stateful.StatePuts == 0 {
+		t.Fatalf("stateful scenario drew no state ops (%d gets, %d puts)",
+			stateful.StateGets, stateful.StatePuts)
+	}
+	if chain.StateGets != 0 || profiles.StateGets != 0 {
+		t.Fatal("state ops charged outside the stateful scenario")
+	}
+	if profiles.Functions != 3 {
+		t.Fatalf("runtime-profiles scenario deploys %d functions, want 3", profiles.Functions)
+	}
+}
+
+func TestScenariosBenchTableRenders(t *testing.T) {
+	res, err := ScenariosBench(quick(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ScenariosBenchTable(res).Render()
+	for _, want := range []string{"chains (started / completed / lost)", "state ops", "SLO met"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -53,6 +53,12 @@ type RequestStats struct {
 	// could never isolate another request. The response itself is valid —
 	// the request is served, only the container is gone.
 	ContainerLost bool
+	// StateGets and StatePuts count this request's external state-store
+	// operations (zero unless the profile declares state traffic; see
+	// runtimes.Profile.StateGets/StatePuts). Their virtual cost is already
+	// inside Invoker/E2E.
+	StateGets int
+	StatePuts int
 }
 
 // ColdStartStats reports a container's initialization, phase by phase
@@ -963,7 +969,10 @@ func (pl *Platform) serveAs(c *Container, reqID uint64, caller string) (RequestS
 		return RequestStats{}, fmt.Errorf("%w: container %d: %w", ErrContainerCrashed, c.ID, ferr)
 	}
 
+	getsBefore, putsBefore := c.inst.StateOps()
 	resp := c.inst.InvokeOn(proc, req, m)
+	gets, puts := c.inst.StateOps()
+	gets, puts = gets-getsBefore, puts-putsBefore
 
 	// Output path. With DirectReturn (§4.5 option 2) the function hands the
 	// response straight to the platform and merely signals the manager, so
@@ -1023,6 +1032,8 @@ func (pl *Platform) serveAs(c *Container, reqID uint64, caller string) (RequestS
 		Completed:     completed,
 		ReadyAgain:    c.ready,
 		ContainerLost: containerLost,
+		StateGets:     gets,
+		StatePuts:     puts,
 	}, nil
 }
 

@@ -57,6 +57,8 @@ import (
 //	ChecksumPerPage           FNV accumulation per page (image integrity)         PR 6   160 ns
 //	ImageTransferBase         cross-host image pull setup (connection+metadata)   PR 8   2 ms
 //	ImageTransferPerFrame     one 4 KiB frame shipped over the cluster network    PR 8   3 µs
+//	StateGetCost              one get against the external state store           PR 10   180 µs
+//	StatePutCost              one put against the external state store           PR 10   260 µs
 type CostModel struct {
 	// VM holds per-access and per-fault costs (see vm.Costs).
 	VM vm.Costs
@@ -162,6 +164,17 @@ type CostModel struct {
 	// knobs.
 	ImageTransferBase     sim.Duration
 	ImageTransferPerFrame sim.Duration
+
+	// Modeled external state store (the stateful-function scenario):
+	// Groundhog's restore wipes all in-process state, so a function that
+	// must keep state across requests externalizes it — tinyFaaS-style KV
+	// handlers — and pays a round trip per operation. StateGetCost and
+	// StatePutCost price one get/put on the request's critical path; the
+	// operation counts are drawn per request from the function's profile
+	// (runtimes.Profile.StateGets/StatePuts), so profiles that declare no
+	// state traffic never touch these knobs.
+	StateGetCost sim.Duration
+	StatePutCost sim.Duration
 }
 
 // Default returns the calibrated cost model used by all experiments.
@@ -224,5 +237,8 @@ func Default() CostModel {
 
 		ImageTransferBase:     2 * time.Millisecond,
 		ImageTransferPerFrame: 3 * time.Microsecond,
+
+		StateGetCost: 180 * time.Microsecond,
+		StatePutCost: 260 * time.Microsecond,
 	}
 }

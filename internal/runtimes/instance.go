@@ -35,6 +35,11 @@ type Instance struct {
 	justRestored   bool
 	warm           bool
 
+	// stateGets and statePuts count the external state-store operations
+	// performed so far (cumulative; see Profile.StateGets/StatePuts).
+	stateGets int
+	statePuts int
+
 	// Wasm selects FAASM execution: compute scaled by the language's
 	// WasmFactor.
 	Wasm bool
@@ -135,7 +140,7 @@ func (in *Instance) WarmUp(meter *sim.Meter) {
 	as.SetMeter(meter)
 	defer as.SetMeter(saved)
 
-	sim.ChargeTo(meter, in.Prof.Lang.InitDuration())
+	sim.ChargeTo(meter, in.Prof.Lang.InitDuration()+in.Prof.WarmupExtra)
 
 	// Touch every page of every segment: lazy class loading, module
 	// imports, model downloads — whatever the runtime does, it is resident
@@ -222,6 +227,20 @@ func (in *Instance) InvokeOn(proc *kernel.Process, req Request, meter *sim.Meter
 		in.justRestored = false
 	}
 	sim.ChargeTo(meter, d)
+
+	// External state operations (the stateful-function scenario): counts
+	// drawn per request around the profile's means, each a priced round
+	// trip on the critical path. The draw happens only when the profile is
+	// stateful, so stateless profiles consume nothing from the instance's
+	// random stream and their runs stay bit-identical.
+	if prof.Stateful() {
+		gets := in.drawStateOps(prof.StateGets)
+		puts := in.drawStateOps(prof.StatePuts)
+		sim.ChargeTo(meter, sim.Duration(gets)*in.kern.Cost.StateGetCost+
+			sim.Duration(puts)*in.kern.Cost.StatePutCost)
+		in.stateGets += gets
+		in.statePuts += puts
+	}
 
 	// Transient buffer (the DropPages window): the runtime's allocator
 	// returned the previous request's large buffer to the kernel, so this
@@ -411,6 +430,22 @@ func (in *Instance) pickRun(salt uint64, run int) uint64 {
 	}
 	return in.heapStart.PageNum()
 }
+
+// drawStateOps draws one request's operation count around a mean: the
+// integer part always happens, the fractional part is a Bernoulli draw on
+// the instance's seeded stream (so a mean of 2.25 issues two ops on three
+// requests out of four, and integral means draw nothing random at all).
+func (in *Instance) drawStateOps(mean float64) int {
+	n := int(mean)
+	if frac := mean - float64(n); frac > 0 && in.rng.Float64() < frac {
+		n++
+	}
+	return n
+}
+
+// StateOps reports the cumulative external state-store operation counts
+// (zero for stateless profiles).
+func (in *Instance) StateOps() (gets, puts int) { return in.stateGets, in.statePuts }
 
 // ResidentPages reports the process's current resident set.
 func (in *Instance) ResidentPages() int { return in.Proc.AS.ResidentPages() }

@@ -163,6 +163,23 @@ type Profile struct {
 	// Groundhog's rollback also rolls back the leak (§5.3.1).
 	LeakPages    int
 	LeakSlowdown float64 // fractional Exec growth per accumulated request
+
+	// StateGets and StatePuts are the mean per-request operation counts
+	// against the modeled external state store (a stateful function keeps
+	// its cross-request state out-of-process, since Groundhog's restore
+	// wipes everything in-process). Each request draws its own counts
+	// around these means on the instance's seeded stream and charges
+	// kernel.CostModel.StateGetCost/StatePutCost per operation. Zero means
+	// are never drawn from and charge nothing, so stateless profiles —
+	// every profile predating these fields — execute bit-identically.
+	StateGets float64
+	StatePuts float64
+
+	// WarmupExtra lengthens the runtime-initialization phase of WarmUp
+	// beyond the language's InitDuration — heavyweight runtime profiles
+	// (RuntimeProfile.Apply) load more framework before the snapshot. Zero
+	// adds nothing.
+	WarmupExtra sim.Duration
 }
 
 // DisplayName returns the figure label, e.g. "chaos (p)".
@@ -205,8 +222,18 @@ func (p Profile) Validate() error {
 	if p.DirtyPages < 0 || p.DropPages < 0 || p.DirtyPages+p.DropPages > p.TotalPages {
 		return fmt.Errorf("runtimes: %s: inconsistent page counts", p.Name)
 	}
+	if p.StateGets < 0 || p.StatePuts < 0 {
+		return fmt.Errorf("runtimes: %s: negative state-operation means", p.Name)
+	}
+	if p.WarmupExtra < 0 {
+		return fmt.Errorf("runtimes: %s: negative warm-up extra", p.Name)
+	}
 	return nil
 }
+
+// Stateful reports whether the profile declares external state traffic —
+// the arming condition for the per-request state-store charges.
+func (p Profile) Stateful() bool { return p.StateGets > 0 || p.StatePuts > 0 }
 
 // Request is one function invocation's input.
 type Request struct {

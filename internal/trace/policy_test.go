@@ -325,7 +325,7 @@ func TestFleetScaleUpBatch(t *testing.T) {
 	if _, err := fs.platform.Serve(fs.platform.Containers()[0], ""); err != nil {
 		t.Fatal(err)
 	}
-	fs.queue = append(fs.queue, now, now, now)
+	fs.queue = append(fs.queue, queuedReq{at: now}, queuedReq{at: now}, queuedReq{at: now})
 	f.dispatch(fs)
 	// Cap 3: the one busy container plus two scale-ups.
 	if got := len(fs.platform.Containers()); got != cfg.MaxContainersPerFunction {

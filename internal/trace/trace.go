@@ -23,13 +23,16 @@ import (
 	"groundhog/internal/isolation"
 	"groundhog/internal/kernel"
 	"groundhog/internal/metrics"
+	"groundhog/internal/runtimes"
 	"groundhog/internal/sim"
 )
 
 // FunctionLoad describes one deployed function's workload.
 type FunctionLoad struct {
 	Entry catalog.Entry
-	// RatePerSec is the mean arrival rate.
+	// RatePerSec is the mean arrival rate. It may be zero only for a
+	// function referenced by a Config.Chains stage: such a function serves
+	// chain invocations and has no open-loop arrival process of its own.
 	RatePerSec float64
 	// Burstiness is the coefficient of variation of interarrival times:
 	// 1 is Poisson; >1 produces bursts via a hyperexponential mixture
@@ -52,6 +55,19 @@ type FunctionLoad struct {
 	DiurnalAmplitude float64
 	DiurnalPeriod    sim.Duration
 	DiurnalPhase     float64
+
+	// Runtime is an optional packaging overlay (tinyFaaS's binary/python/
+	// node split): the function's measured profile is deployed through
+	// runtimes.RuntimeProfile.Apply, scaling its footprint and dirty rate
+	// and lengthening its warm-up. The zero value applies nothing — the
+	// deployed profile is byte-identical to Entry.Prof.
+	Runtime runtimes.RuntimeProfile
+
+	// Policy overrides the fleet's scaling policy for this function (nil
+	// uses Config.Policy). A chain's stages can then hold warm capacity
+	// selectively — e.g. an SLO-aware policy on the latency-critical stage
+	// while the rest of the fleet scales to zero on fixed TTLs.
+	Policy Policy
 }
 
 // Config parameterizes a fleet run.
@@ -121,6 +137,96 @@ type Config struct {
 	// window — container-crash waves, image corruption, drains. Events are
 	// independent of the fault plan: they fire even on a disarmed fleet.
 	Events []Event
+
+	// Chains adds composed workloads: each Chain has its own arrival
+	// process, and every arrival walks the chain's stages, dispatched
+	// stage-by-stage on completion events. Empty leaves the fleet's
+	// behavior exactly as before the field existed.
+	Chains []Chain
+}
+
+// ChainStage is one stage of a Chain: the function invocations it fans out
+// to, all dispatched in parallel at the instant the previous stage
+// completed. The stage completes when its last invocation's response
+// completes. A function may appear more than once to be invoked twice.
+type ChainStage struct {
+	Functions []string
+}
+
+// Chain is a composed request — an ordered pipeline of stages over the
+// fleet's deployed functions, tinyFaaS-style function composition. Each
+// arrival invokes stage 0; every later stage starts on the completion event
+// of the one before it, so queueing and cold starts anywhere in the
+// pipeline stretch the whole chain. The end-to-end SLO spans the chain:
+// ChainStats.E2E records first-arrival to last-completion.
+//
+// Chain invocations flow through the same per-function queues, pools, and
+// stats as open-loop arrivals — a stage invocation counts in its function's
+// Arrived/Requests, so the fleet's no-lost-request invariant extends to
+// every stage, and a chain can therefore never be *partially* lost.
+type Chain struct {
+	// Name labels the chain in results.
+	Name string
+	// Stages are executed in order; each names at least one function from
+	// the fleet's loads.
+	Stages []ChainStage
+	// RatePerSec and Burstiness shape the chain's own arrival process,
+	// exactly as FunctionLoad's fields do.
+	RatePerSec float64
+	Burstiness float64
+	// SLOTargetMs is the end-to-end target for the whole chain in
+	// milliseconds (0 = no target). ChainStats.SLOMet judges the chain's
+	// p95 against it after the run.
+	SLOTargetMs float64
+}
+
+// Validate checks one chain's shape (function-name resolution happens in
+// NewFleet, where the loads are known).
+func (ch Chain) Validate() error {
+	if ch.Name == "" {
+		return fmt.Errorf("trace: chain with empty name")
+	}
+	if len(ch.Stages) == 0 {
+		return fmt.Errorf("trace: chain %s: no stages", ch.Name)
+	}
+	for i, st := range ch.Stages {
+		if len(st.Functions) == 0 {
+			return fmt.Errorf("trace: chain %s: stage %d has no functions", ch.Name, i)
+		}
+	}
+	if ch.RatePerSec <= 0 {
+		return fmt.Errorf("trace: chain %s: non-positive rate", ch.Name)
+	}
+	if ch.Burstiness < 0 {
+		return fmt.Errorf("trace: chain %s: negative burstiness", ch.Name)
+	}
+	if ch.SLOTargetMs < 0 {
+		return fmt.Errorf("trace: chain %s: negative SLO target", ch.Name)
+	}
+	return nil
+}
+
+// ChainStats aggregates one chain's outcomes.
+type ChainStats struct {
+	Name string
+	// Started counts chain arrivals; Completed counts chains whose final
+	// stage completed. After the drain every started chain has run to
+	// completion — requests are delayed by faults, never dropped — so
+	// Lost (= Started − Completed) is pinned at zero: the
+	// chain-conservation invariant.
+	Started   int
+	Completed int
+	Lost      int
+	// SLOTargetMs echoes the configured end-to-end target; SLOMet reports
+	// whether the chain's p95 E2E met it (true when no target is set).
+	SLOTargetMs float64
+	SLOMet      bool
+	// E2E records each completed chain's first-arrival-to-last-completion
+	// latency in milliseconds. Completion times are virtual response
+	// completions (faas.RequestStats.Completed) — per-function E2E
+	// additionally includes the platform-path overhead, which does not
+	// delay the next stage's dispatch.
+	E2E metrics.Recorder
 }
 
 // EventKind selects a fleet failure event.
@@ -183,6 +289,16 @@ func (c Config) Validate() error {
 			return fmt.Errorf("trace: unknown event kind %q", ev.Kind)
 		}
 	}
+	seen := map[string]bool{}
+	for _, ch := range c.Chains {
+		if err := ch.Validate(); err != nil {
+			return err
+		}
+		if seen[ch.Name] {
+			return fmt.Errorf("trace: duplicate chain %s", ch.Name)
+		}
+		seen[ch.Name] = true
+	}
 	return nil
 }
 
@@ -233,6 +349,12 @@ type FunctionStats struct {
 	EventCrashes int
 	Drained      int
 
+	// StateGets and StatePuts total the function's external state-store
+	// operations (zero unless the profile declares state traffic; their
+	// virtual cost is already inside the latency recorders).
+	StateGets int
+	StatePuts int
+
 	// E2E (ms, including queueing and cold-start waits) and Queue (ms
 	// waiting for a container) record every request's latency. The
 	// recorders are exact sample-retaining summaries by default, or
@@ -268,6 +390,9 @@ func newFunctionStats(name string, sketch bool) *FunctionStats {
 // Result is a fleet run's outcome.
 type Result struct {
 	PerFunction []*FunctionStats
+	// Chains holds one entry per configured chain (sorted by name; empty
+	// without Config.Chains).
+	Chains []*ChainStats
 	// PeakFrames is the kernel-wide high-water mark of resident frames — a
 	// direct memory-pressure comparison between isolation modes.
 	PeakFrames int
@@ -287,6 +412,16 @@ func (r *Result) Function(name string) (*FunctionStats, bool) {
 	for _, f := range r.PerFunction {
 		if f.Name == name {
 			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Chain returns a chain's stats by name.
+func (r *Result) Chain(name string) (*ChainStats, bool) {
+	for _, c := range r.Chains {
+		if c.Name == name {
+			return c, true
 		}
 	}
 	return nil, false
@@ -326,15 +461,29 @@ func retryDispatchDelay(streak int) sim.Duration {
 	return d
 }
 
+// queuedReq is one waiting request: its arrival time plus, for a chain
+// stage invocation, the chain run it advances on completion (nil for
+// open-loop arrivals, which need no completion tracking).
+type queuedReq struct {
+	at  sim.Time
+	run *chainRun
+}
+
 // fnState is the dispatcher's view of one deployed function.
 type fnState struct {
 	load     FunctionLoad
 	platform *faas.Platform
-	// queue is a head-indexed ring of waiting requests' arrival times:
-	// dequeue advances qhead instead of re-slicing the front away, so the
-	// backing array is reused forever and steady-state queueing allocates
-	// nothing (enqueue compacts to the front only when the array is full).
-	queue []sim.Time
+	// policy is the function's resolved scaling policy (the load's
+	// override, else the fleet's); signalFree caches whether it declared
+	// SignalFree, so the dispatcher skips maintaining the observation
+	// rings for this function when the decisions ignore them.
+	policy     Policy
+	signalFree bool
+	// queue is a head-indexed ring of waiting requests: dequeue advances
+	// qhead instead of re-slicing the front away, so the backing array is
+	// reused forever and steady-state queueing allocates nothing (enqueue
+	// compacts to the front only when the array is full).
+	queue []queuedReq
 	qhead int
 	stats *FunctionStats
 	rng   *sim.Rand
@@ -384,18 +533,18 @@ func (fs *fnState) observeCrash(t sim.Time) {
 // queueDepth reports the number of requests waiting for a container.
 func (fs *fnState) queueDepth() int { return len(fs.queue) - fs.qhead }
 
-// enqueue appends one arrival to the queue ring.
-func (fs *fnState) enqueue(t sim.Time) {
+// enqueue appends one request to the queue ring.
+func (fs *fnState) enqueue(q queuedReq) {
 	if fs.qhead > 0 && len(fs.queue) == cap(fs.queue) {
 		n := copy(fs.queue, fs.queue[fs.qhead:])
 		fs.queue = fs.queue[:n]
 		fs.qhead = 0
 	}
-	fs.queue = append(fs.queue, t)
+	fs.queue = append(fs.queue, q)
 }
 
-// queueHead returns the oldest waiting arrival; the queue must be nonempty.
-func (fs *fnState) queueHead() sim.Time { return fs.queue[fs.qhead] }
+// queueHead returns the oldest waiting request; the queue must be nonempty.
+func (fs *fnState) queueHead() queuedReq { return fs.queue[fs.qhead] }
 
 // dequeue consumes the head; an emptied ring rewinds to reuse its storage.
 func (fs *fnState) dequeue() {
@@ -406,19 +555,94 @@ func (fs *fnState) dequeue() {
 	}
 }
 
+// chainState is the dispatcher's view of one configured chain: its arrival
+// process (a synthetic FunctionLoad reusing the shared interarrival draw)
+// and its stages resolved to function states.
+type chainState struct {
+	load   FunctionLoad
+	stats  *ChainStats
+	rng    *sim.Rand
+	stages [][]*fnState
+}
+
+// newChainStats builds a ChainStats with its recorder initialized per the
+// fleet's Config.SketchStats selection, mirroring newFunctionStats.
+func newChainStats(ch Chain, sketch bool) *ChainStats {
+	st := &ChainStats{Name: ch.Name, SLOTargetMs: ch.SLOTargetMs}
+	if sketch {
+		st.E2E = metrics.NewSketch(0)
+	} else {
+		st.E2E = &metrics.Summary{}
+	}
+	return st
+}
+
+// interarrival draws the chain's next arrival gap on its own stream.
+func (cs *chainState) interarrival(now sim.Time) sim.Duration {
+	return drawInterarrival(cs.load, cs.rng, now)
+}
+
+// chainRun is one in-flight chain arrival: which stage it is in and how
+// many of that stage's invocations are still outstanding.
+type chainRun struct {
+	cs      *chainState
+	started sim.Time
+	stage   int
+	pending int
+}
+
+// startChainStage fans the run's current stage out into the target
+// functions' queues at the current virtual time and dispatches them. Stage
+// invocations are ordinary requests to the per-function machinery — they
+// count in Arrived/Requests, ride the same queue ring, and retry on crashes
+// — plus a completion hook that advances the chain.
+func (f *Fleet) startChainStage(run *chainRun) {
+	targets := run.cs.stages[run.stage]
+	run.pending = len(targets)
+	now := f.engine.Now()
+	for _, fs := range targets {
+		if !fs.signalFree {
+			fs.observeArrival(now)
+		}
+		fs.stats.Arrived++
+		fs.enqueue(queuedReq{at: now, run: run})
+		f.dispatch(fs)
+	}
+}
+
+// chainStepDone is the completion event of one stage invocation: when the
+// stage's last invocation completes, the next stage starts at that instant,
+// and a finished chain records its end-to-end latency. Every started chain
+// reaches exactly one of these terminal states or remains queued — the
+// drain serves all queues, so after Run every chain has completed and
+// ChainStats.Lost stays zero (the conservation invariant).
+func (f *Fleet) chainStepDone(run *chainRun) {
+	run.pending--
+	if run.pending > 0 {
+		return
+	}
+	run.stage++
+	if run.stage < len(run.cs.stages) {
+		f.startChainStage(run)
+		return
+	}
+	st := run.cs.stats
+	st.Completed++
+	st.E2E.AddDuration(f.engine.Now().Sub(run.started))
+}
+
 // Fleet runs a multi-function workload and reports per-function and
 // fleet-wide outcomes.
 type Fleet struct {
-	cfg    Config
+	cfg Config
+	// policy is the fleet-wide default; each fnState resolves its own
+	// (FunctionLoad.Policy overrides it per function).
 	policy Policy
-	// signalFree caches whether the policy declared SignalFree: the
-	// observation rings are then never read, so the dispatcher skips
-	// maintaining them on the per-request hot path.
-	signalFree bool
-	engine     *sim.Engine
-	kern       *kernel.Kernel
-	fns        []*fnState
-	err        error
+	engine *sim.Engine
+	kern   *kernel.Kernel
+	fns    []*fnState
+	chains []*chainState
+	err    error
 
 	// frameArea integrates in-use frames over virtual time (sampled at
 	// policy ticks); lastSample is the integration cursor.
@@ -457,10 +681,20 @@ func NewFleet(cfg Config, loads []FunctionLoad) (*Fleet, error) {
 	if f.policy == nil {
 		f.policy = FixedTTL{KeepAlive: cfg.KeepAlive, ScaleToZeroAfter: cfg.ScaleToZeroAfter}
 	}
-	f.setPolicy(f.policy)
+	// chainFed marks functions referenced by a chain stage: they may omit
+	// their own open-loop arrival process (RatePerSec == 0).
+	chainFed := map[string]bool{}
+	for _, ch := range cfg.Chains {
+		for _, st := range ch.Stages {
+			for _, name := range st.Functions {
+				chainFed[name] = true
+			}
+		}
+	}
 	for i, load := range loads {
-		if load.RatePerSec <= 0 {
-			return nil, fmt.Errorf("trace: %s: non-positive rate", load.Entry.Prof.DisplayName())
+		name := load.Entry.Prof.DisplayName()
+		if load.RatePerSec < 0 || (load.RatePerSec == 0 && !chainFed[name]) {
+			return nil, fmt.Errorf("trace: %s: non-positive rate", name)
 		}
 		if load.SLOTargetMs < 0 {
 			return nil, fmt.Errorf("trace: %s: negative SLO target", load.Entry.Prof.DisplayName())
@@ -473,10 +707,16 @@ func NewFleet(cfg Config, loads []FunctionLoad) (*Fleet, error) {
 			return nil, fmt.Errorf("trace: %s: diurnal amplitude needs a positive period",
 				load.Entry.Prof.DisplayName())
 		}
+		if err := load.Runtime.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", name, err)
+		}
+		// The deployed profile is the measured one through the runtime
+		// overlay — a zero overlay returns it unchanged, byte for byte.
+		prof := load.Runtime.Apply(load.Entry.Prof)
 		// Zero constructor containers so the store kind can be set first;
 		// the warm floor is added explicitly (pre-warmed, like the
 		// constructor path).
-		pl, err := faas.NewPlatformOn(f.engine, f.kern, load.Entry.Prof, cfg.Mode, 0, cfg.Seed+uint64(i)*7919)
+		pl, err := faas.NewPlatformOn(f.engine, f.kern, prof, cfg.Mode, 0, cfg.Seed+uint64(i)*7919)
 		if err != nil {
 			return nil, err
 		}
@@ -496,6 +736,7 @@ func NewFleet(cfg Config, loads []FunctionLoad) (*Fleet, error) {
 			rng:         sim.NewRand(cfg.Seed ^ uint64(i)*0x9E3779B97F4A7C15),
 			sloTargetMs: target,
 		}
+		fs.setPolicy(f.policy)
 		fs.redispatch = func() { f.dispatch(fs) }
 		f.fns = append(f.fns, fs)
 	}
@@ -514,14 +755,61 @@ func NewFleet(cfg Config, loads []FunctionLoad) (*Fleet, error) {
 			return nil, fmt.Errorf("trace: event %q targets unknown function %q", ev.Kind, ev.Function)
 		}
 	}
+	// Resolve each chain's stage targets against the deployed functions.
+	// Chains draw arrivals on their own streams, seeded apart from the
+	// functions' (the 0x5D1E... salt), so adding a chain never perturbs
+	// the open-loop arrival traces.
+	for ci, ch := range cfg.Chains {
+		cs := &chainState{
+			load:  FunctionLoad{RatePerSec: ch.RatePerSec, Burstiness: ch.Burstiness},
+			stats: newChainStats(ch, cfg.SketchStats),
+			rng:   sim.NewRand(cfg.Seed ^ (uint64(ci)+1)*0x5D1E8F96A331_7F4B),
+		}
+		for _, st := range ch.Stages {
+			var targets []*fnState
+			for _, name := range st.Functions {
+				fs := f.fn(name)
+				if fs == nil {
+					return nil, fmt.Errorf("trace: chain %s references unknown function %q", ch.Name, name)
+				}
+				targets = append(targets, fs)
+			}
+			cs.stages = append(cs.stages, targets)
+		}
+		f.chains = append(f.chains, cs)
+	}
 	return f, nil
 }
 
-// setPolicy installs the fleet's policy, refreshing the cached
-// signal-free flag the dispatcher's ring maintenance keys off.
+// fn returns the state of the function with the given display name, or nil.
+func (f *Fleet) fn(name string) *fnState {
+	for _, fs := range f.fns {
+		if fs.stats.Name == name {
+			return fs
+		}
+	}
+	return nil
+}
+
+// setPolicy installs one function's scaling policy, preferring the load's
+// override and refreshing the cached signal-free flag the dispatcher's ring
+// maintenance keys off.
+func (fs *fnState) setPolicy(fleetDefault Policy) {
+	fs.policy = fleetDefault
+	if fs.load.Policy != nil {
+		fs.policy = fs.load.Policy
+	}
+	_, fs.signalFree = fs.policy.(SignalFree)
+}
+
+// setPolicy swaps the fleet-wide policy, re-resolving every function that
+// has no per-load override (the policy tests drive a built fleet through
+// several policies this way).
 func (f *Fleet) setPolicy(p Policy) {
 	f.policy = p
-	_, f.signalFree = p.(SignalFree)
+	for _, fs := range f.fns {
+		fs.setPolicy(p)
+	}
 }
 
 // signals assembles the policy's observation set for one function at the
@@ -543,7 +831,7 @@ func (f *Fleet) signals(fs *fnState, now sim.Time) Signals {
 		}
 	}
 	sig.Crashes = fs.stats.Crashes + fs.stats.EventCrashes
-	if f.signalFree {
+	if fs.signalFree {
 		return sig
 	}
 	if n := len(fs.crashTimes); n > 0 {
@@ -603,23 +891,45 @@ func (fs *fnState) interarrival(now sim.Time) sim.Duration {
 func (f *Fleet) Run() (*Result, error) {
 	deadline := sim.Time(f.cfg.Window)
 
-	// Arrival processes.
+	// Arrival processes (chain-fed functions with no rate of their own
+	// receive only chain invocations).
 	for _, fs := range f.fns {
+		if fs.load.RatePerSec <= 0 {
+			continue
+		}
 		fs := fs
 		var arrive func()
 		arrive = func() {
 			if f.err != nil || f.engine.Now() >= deadline {
 				return
 			}
-			if !f.signalFree {
+			if !fs.signalFree {
 				fs.observeArrival(f.engine.Now())
 			}
 			fs.stats.Arrived++
-			fs.enqueue(f.engine.Now())
+			fs.enqueue(queuedReq{at: f.engine.Now()})
 			f.dispatch(fs)
 			f.engine.After(fs.interarrival(f.engine.Now()), arrive)
 		}
 		f.engine.After(fs.interarrival(0), arrive)
+	}
+
+	// Chain arrival processes: each arrival starts stage 0 immediately;
+	// later stages ride completion events (chainStepDone), including
+	// through the drain — a chain started before the deadline always runs
+	// to completion.
+	for _, cs := range f.chains {
+		cs := cs
+		var arrive func()
+		arrive = func() {
+			if f.err != nil || f.engine.Now() >= deadline {
+				return
+			}
+			cs.stats.Started++
+			f.startChainStage(&chainRun{cs: cs, started: f.engine.Now()})
+			f.engine.After(cs.interarrival(f.engine.Now()), arrive)
+		}
+		f.engine.After(cs.interarrival(0), arrive)
 	}
 
 	// Scheduled failure events.
@@ -674,6 +984,13 @@ func (f *Fleet) Run() (*Result, error) {
 	sort.Slice(res.PerFunction, func(i, j int) bool {
 		return res.PerFunction[i].Name < res.PerFunction[j].Name
 	})
+	for _, cs := range f.chains {
+		st := cs.stats
+		st.Lost = st.Started - st.Completed
+		st.SLOMet = st.SLOTargetMs <= 0 || st.E2E.N() == 0 || st.E2E.Percentile(95) <= st.SLOTargetMs
+		res.Chains = append(res.Chains, st)
+	}
+	sort.Slice(res.Chains, func(i, j int) bool { return res.Chains[i].Name < res.Chains[j].Name })
 	return res, nil
 }
 
@@ -689,7 +1006,7 @@ func (f *Fleet) sampleFrames(now, deadline sim.Time) {
 	}
 }
 
-// reapIdle applies the fleet's policy to one function's pool.
+// reapIdle applies the function's resolved policy to its pool.
 //
 // Tier one: containers above the policy's warm floor are removed when
 // Policy.Reap says so, given their idle time. The pool is re-read after
@@ -712,7 +1029,7 @@ func (f *Fleet) sampleFrames(now, deadline sim.Time) {
 // response's completion.
 func (f *Fleet) reapIdle(fs *fnState, now sim.Time) {
 	sig := f.signals(fs, now)
-	floor := f.policy.WarmFloor(sig)
+	floor := fs.policy.WarmFloor(sig)
 	if floor < 1 {
 		floor = 1 // the last container belongs to the scale-to-zero tier
 	}
@@ -726,7 +1043,7 @@ func (f *Fleet) reapIdle(fs *fnState, now sim.Time) {
 			if idleSince == 0 {
 				idleSince = c.Ready() // never served: idle since serveable
 			}
-			if f.policy.Reap(sig, now.Sub(idleSince), false) {
+			if fs.policy.Reap(sig, now.Sub(idleSince), false) {
 				fs.platform.RemoveContainer(c)
 				fs.stats.Reaped++
 				// Refresh the whole observation set: a half-updated
@@ -751,7 +1068,7 @@ func (f *Fleet) reapIdle(fs *fnState, now sim.Time) {
 		// the eviction verdict every tick. The rate estimate decays after
 		// traffic stops, so a "keep" made mid-traffic must be allowed to
 		// flip once holding the image no longer pays.
-		if f.policy.EvictImage(sig) && fs.platform.EvictImage() {
+		if fs.policy.EvictImage(sig) && fs.platform.EvictImage() {
 			fs.stats.ImagesEvicted++
 		}
 		return
@@ -760,10 +1077,10 @@ func (f *Fleet) reapIdle(fs *fnState, now sim.Time) {
 		return
 	}
 	c := cs[0]
-	if c.Ready() > now || !f.policy.Reap(sig, now.Sub(c.Ready()), true) {
+	if c.Ready() > now || !fs.policy.Reap(sig, now.Sub(c.Ready()), true) {
 		return
 	}
-	evict := f.policy.EvictImage(sig)
+	evict := fs.policy.EvictImage(sig)
 	if !evict {
 		// Keep the revival path cheap: capture the donor template before
 		// the donor disappears. The template (and its snapshot) survives
@@ -793,7 +1110,7 @@ func (f *Fleet) dispatch(fs *fnState) {
 			// ready time either way.
 			added := false
 			if headroom := f.cfg.MaxContainersPerFunction - len(fs.platform.Containers()); headroom > 0 {
-				n := f.policy.ScaleUp(f.signals(fs, now))
+				n := fs.policy.ScaleUp(f.signals(fs, now))
 				if n > headroom {
 					n = headroom
 				}
@@ -841,12 +1158,12 @@ func (f *Fleet) dispatch(fs *fnState) {
 		// Peek, serve, then pop: a mid-request crash leaves the request at
 		// the head of the queue to retry on another container (or a fresh
 		// cold start) — it is only consumed once a response was delivered.
-		arrived := fs.queueHead()
+		qr := fs.queueHead()
 		st, err := fs.platform.Serve(c, "")
 		if err != nil {
 			if errors.Is(err, faas.ErrContainerCrashed) {
 				fs.stats.Crashes++
-				if !f.signalFree {
+				if !fs.signalFree {
 					fs.observeCrash(now)
 				}
 				continue
@@ -856,11 +1173,13 @@ func (f *Fleet) dispatch(fs *fnState) {
 			return
 		}
 		fs.dequeue()
-		wait := now.Sub(arrived)
+		wait := now.Sub(qr.at)
 		fs.stats.Requests++
 		fs.stats.E2E.AddDuration(st.E2E + wait)
 		fs.stats.Queue.AddDuration(wait)
-		if !f.signalFree {
+		fs.stats.StateGets += st.StateGets
+		fs.stats.StatePuts += st.StatePuts
+		if !fs.signalFree {
 			fs.observeLatency(float64(st.E2E+wait)/1e6, float64(st.Invoker)/1e6)
 		}
 		if st.Restored {
@@ -868,6 +1187,11 @@ func (f *Fleet) dispatch(fs *fnState) {
 		}
 		if st.ContainerLost {
 			fs.stats.RestoreFaults++
+		}
+		if run := qr.run; run != nil {
+			// Chain requests hand off to the next stage when the response is
+			// delivered; the closure is the only allocation on the chain path.
+			f.engine.At(st.Completed, func() { f.chainStepDone(run) })
 		}
 		// When this container frees up, it may drain more queue.
 		f.engine.At(st.ReadyAgain, fs.redispatch)
@@ -894,7 +1218,7 @@ func (f *Fleet) applyEvent(ev Event) {
 				}
 				fs.platform.RemoveContainer(cs[0])
 				fs.stats.EventCrashes++
-				if !f.signalFree {
+				if !fs.signalFree {
 					fs.observeCrash(f.engine.Now())
 				}
 			}
